@@ -1,0 +1,40 @@
+# Convenience targets for the ALERT reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures analysis experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark pass: one benchmark per paper table/figure + ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation figure at paper fidelity (30 seeds).
+figures:
+	$(GO) run ./cmd/figures -seeds 30 all
+
+# The Section 4 closed-form curves.
+analysis:
+	$(GO) run ./cmd/analysis all
+
+# The artifacts the reproduction hand-off asks for.
+experiments:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+fuzz:
+	$(GO) test ./internal/core -fuzz FuzzUnmarshal -fuzztime 30s
+	$(GO) test ./internal/mobility -fuzz FuzzParseNS2 -fuzztime 30s
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,480 @@
+// Package alert is a Go reproduction of "ALERT: An Anonymous Location-Based
+// Efficient Routing Protocol in MANETs" (Shen & Zhao, ICPP 2011 / IEEE TMC
+// 2012). It bundles a discrete-event MANET simulator (mobility, radio,
+// location service, GPSR), the ALERT protocol itself, the AO2P and ALARM
+// comparators, the paper's adversary models, and the evaluation harness
+// that regenerates every figure and table of the paper.
+//
+// This package is the public facade. Quick start:
+//
+//	cfg := alert.DefaultConfig()
+//	res := alert.Run(cfg)
+//	fmt.Printf("delivery %.2f, latency %.1f ms\n",
+//		res.DeliveryRate, res.MeanLatencySeconds*1e3)
+//
+// For interactive control (send individual messages, observe deliveries,
+// mount attacks) build a Network:
+//
+//	net := alert.NewNetwork(cfg)
+//	net.OnDeliver(func(d alert.Delivery) { ... })
+//	net.Send(3, 117, []byte("hello"))
+//	net.RunFor(10) // simulated seconds
+//
+// The deeper layers live under internal/: geo (zone partition), sim (event
+// engine), mobility, medium, gpsr, core (ALERT), ao2p, alarm, adversary,
+// analysis (the paper's closed forms), and experiment (figures).
+package alert
+
+import (
+	"fmt"
+
+	"alertmanet/internal/core"
+	"alertmanet/internal/experiment"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/stats"
+	"alertmanet/internal/trace"
+)
+
+// sum converts an internal stats summary into the public Summary.
+func sum(s stats.Summary) Summary {
+	return Summary{N: s.N, Mean: s.Mean, StdDev: s.StdDev, CI95: s.CI95}
+}
+
+// Protocol selects the routing protocol under test.
+type Protocol string
+
+// The four protocols of the paper's evaluation.
+const (
+	ALERT Protocol = "alert" // the paper's contribution
+	GPSR  Protocol = "gpsr"  // baseline geographic routing
+	ALARM Protocol = "alarm" // proactive, redundant-traffic comparator
+	AO2P  Protocol = "ao2p"  // hop-by-hop-encryption comparator
+	// ZAP is an extra baseline beyond the paper's set: destination
+	// cloaking with zone flooding [13].
+	ZAP Protocol = "zap"
+)
+
+// Workload selects the traffic model.
+type Workload string
+
+// Traffic models: the paper's CBR stream, a Poisson process of the same
+// mean rate, and an on/off burst source.
+const (
+	CBR         Workload = "cbr"
+	PoissonLoad Workload = "poisson"
+	BurstLoad   Workload = "burst"
+)
+
+// Mobility selects the movement model.
+type Mobility string
+
+// Movement models from Section 5.1.
+const (
+	RandomWaypoint Mobility = "rwp"
+	GroupMobility  Mobility = "group"
+	Static         Mobility = "static"
+)
+
+// Config describes one simulated MANET and workload. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// Protocol is the routing protocol under test.
+	Protocol Protocol
+
+	// Nodes is the network size N (default 200).
+	Nodes int
+	// FieldSize is the square field's side length in meters (1000).
+	FieldSize float64
+	// Speed is the node speed in m/s (2).
+	Speed float64
+	// Mobility is the movement model; Groups/GroupRange configure the
+	// group model (10 groups, 150 m).
+	Mobility   Mobility
+	Groups     int
+	GroupRange float64
+
+	// Duration is the simulated seconds of workload (100).
+	Duration float64
+	// Pairs is the number of concurrent S-D pairs (10).
+	Pairs int
+	// IntervalSeconds is the mean packet interval per pair (2).
+	IntervalSeconds float64
+	// Traffic selects the workload model (CBR default).
+	Traffic Workload
+	// PacketSize is the data packet size in bytes (512).
+	PacketSize int
+
+	// K is ALERT's destination k-anonymity parameter; the partition
+	// depth follows H = log2(N/K) unless PartitionH overrides it.
+	K          int
+	PartitionH int
+	// NotifyAndGo enables ALERT's source-anonymity cover traffic.
+	NotifyAndGo bool
+	// IntersectionGuard enables ALERT's two-step m-of-k multicast.
+	IntersectionGuard bool
+	// Confirm enables destination confirmations with retransmission.
+	Confirm bool
+	// NAKs enables gap-triggered negative acknowledgements.
+	NAKs bool
+
+	// LossRate injects random frame loss.
+	LossRate float64
+	// LocationUpdates toggles the location service's periodic position
+	// refresh — the paper's "with/without destination update".
+	LocationUpdates bool
+}
+
+// DefaultConfig returns the paper's Section 5.2 parameters with ALERT as
+// the protocol under test.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Protocol:        ALERT,
+		Nodes:           200,
+		FieldSize:       1000,
+		Speed:           2,
+		Mobility:        RandomWaypoint,
+		Groups:          10,
+		GroupRange:      150,
+		Duration:        100,
+		Pairs:           10,
+		IntervalSeconds: 2,
+		PacketSize:      512,
+		K:               6,
+		LocationUpdates: true,
+	}
+}
+
+// scenario translates the public Config into the internal Scenario.
+func (c Config) scenario() experiment.Scenario {
+	sc := experiment.DefaultScenario()
+	sc.Seed = c.Seed
+	sc.Protocol = experiment.ProtocolName(c.Protocol)
+	if c.Nodes > 0 {
+		sc.N = c.Nodes
+	}
+	if c.FieldSize > 0 {
+		sc.Field.Max.X = c.FieldSize
+		sc.Field.Max.Y = c.FieldSize
+	}
+	sc.Speed = c.Speed
+	if c.Mobility != "" {
+		sc.Mobility = experiment.MobilityName(c.Mobility)
+	}
+	if c.Groups > 0 {
+		sc.Groups = c.Groups
+	}
+	if c.GroupRange > 0 {
+		sc.GroupRange = c.GroupRange
+	}
+	if c.Duration > 0 {
+		sc.Duration = c.Duration
+	}
+	if c.Pairs > 0 {
+		sc.Pairs = c.Pairs
+	}
+	if c.IntervalSeconds > 0 {
+		sc.Interval = c.IntervalSeconds
+	}
+	if c.PacketSize > 0 {
+		sc.PacketSize = c.PacketSize
+	}
+	if c.K > 0 {
+		sc.Alert.K = c.K
+	}
+	sc.Alert.H = c.PartitionH
+	sc.Alert.NotifyAndGo = c.NotifyAndGo
+	sc.Alert.IntersectionGuard = c.IntersectionGuard
+	sc.Alert.Confirm = c.Confirm
+	sc.Alert.NAKs = c.NAKs
+	sc.LossRate = c.LossRate
+	sc.LocUpdates = c.LocationUpdates
+	if c.Traffic != "" {
+		sc.Workload = experiment.WorkloadName(c.Traffic)
+	}
+	return sc
+}
+
+// PresetInfo describes one named scenario preset.
+type PresetInfo struct {
+	Name        string
+	Description string
+}
+
+// ListPresets returns the built-in scenario presets.
+func ListPresets() []PresetInfo {
+	var out []PresetInfo
+	for _, p := range experiment.Presets() {
+		out = append(out, PresetInfo{Name: p.Name, Description: p.Description})
+	}
+	return out
+}
+
+// RunPreset executes a named preset under the given seed.
+func RunPreset(name string, seed int64) (Result, error) {
+	p, err := experiment.FindPreset(name)
+	if err != nil {
+		return Result{}, err
+	}
+	sc := p.Scenario
+	sc.Seed = seed
+	r := experiment.Run(sc)
+	return Result{
+		PacketsSent:              r.Sent,
+		DeliveryRate:             r.DeliveryRate,
+		MeanLatencySeconds:       r.MeanLatency,
+		HopsPerPacket:            r.HopsPerPacket,
+		MeanRandomForwarders:     r.MeanRFs,
+		ParticipatingNodes:       r.Participants,
+		RouteSimilarity:          r.RouteJaccard,
+		EnergyPerDeliveredJoules: r.EnergyPerDelivered,
+	}, nil
+}
+
+// Result summarizes one run with the paper's metrics.
+type Result struct {
+	// PacketsSent is the number of application packets issued.
+	PacketsSent int
+	// DeliveryRate is delivered / sent (metric 6).
+	DeliveryRate float64
+	// MeanLatencySeconds is the average end-to-end delay including
+	// routing and cryptography (metric 5).
+	MeanLatencySeconds float64
+	// HopsPerPacket is accumulated hops over packets sent, including
+	// protocol overhead traffic (metric 4).
+	HopsPerPacket float64
+	// MeanRandomForwarders is ALERT's average RF count (metric 2).
+	MeanRandomForwarders float64
+	// ParticipatingNodes is the cumulative count of distinct relays
+	// (metric 1).
+	ParticipatingNodes int
+	// RouteSimilarity is the mean Jaccard similarity of consecutive
+	// packets' relay sets for a pair: near 1 for shortest-path routing,
+	// near 0 for ALERT's randomized routes.
+	RouteSimilarity float64
+	// EnergyPerDeliveredJoules is radio transmission plus cryptographic
+	// energy divided by delivered packets (+Inf if nothing arrived).
+	EnergyPerDeliveredJoules float64
+}
+
+// Run executes one full workload and returns its metrics.
+func Run(cfg Config) Result {
+	r := experiment.Run(cfg.scenario())
+	return Result{
+		PacketsSent:              r.Sent,
+		DeliveryRate:             r.DeliveryRate,
+		MeanLatencySeconds:       r.MeanLatency,
+		HopsPerPacket:            r.HopsPerPacket,
+		MeanRandomForwarders:     r.MeanRFs,
+		ParticipatingNodes:       r.Participants,
+		RouteSimilarity:          r.RouteJaccard,
+		EnergyPerDeliveredJoules: r.EnergyPerDelivered,
+	}
+}
+
+// Summary is a mean with spread over independent seeded runs.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	// CI95 is the 95% Student-t confidence half-width (the paper's
+	// "I"-shaped intervals over 30 runs).
+	CI95 float64
+}
+
+// Aggregate holds multi-run summaries of each metric.
+type Aggregate struct {
+	DeliveryRate         Summary
+	MeanLatencySeconds   Summary
+	HopsPerPacket        Summary
+	MeanRandomForwarders Summary
+	ParticipatingNodes   Summary
+	RouteSimilarity      Summary
+}
+
+// RunSeeds runs the workload under `seeds` independent seeds (the paper
+// uses 30) and aggregates the metrics.
+func RunSeeds(cfg Config, seeds int) Aggregate {
+	a := experiment.RunSeeds(cfg.scenario(), seeds)
+	return Aggregate{
+		DeliveryRate:         sum(a.DeliveryRate),
+		MeanLatencySeconds:   sum(a.MeanLatency),
+		HopsPerPacket:        sum(a.HopsPerPacket),
+		MeanRandomForwarders: sum(a.MeanRFs),
+		ParticipatingNodes:   sum(a.Participants),
+		RouteSimilarity:      sum(a.RouteJaccard),
+	}
+}
+
+// Delivery reports one application-level delivery at the destination.
+type Delivery struct {
+	Src, Dst int
+	Seq      int
+	Data     []byte
+	// At is the simulated delivery time in seconds.
+	At float64
+}
+
+// Network is an interactive simulation: send individual messages, advance
+// virtual time, inspect metrics. Not safe for concurrent use.
+type Network struct {
+	w         *experiment.World
+	onDeliver func(Delivery)
+}
+
+// NewNetwork builds a simulated MANET from the config without starting any
+// traffic.
+func NewNetwork(cfg Config) *Network {
+	n := &Network{w: experiment.Build(cfg.scenario())}
+	if n.w.Alert != nil {
+		n.w.Alert.OnDeliver = func(src, dst medium.NodeID, seq int, data []byte, t float64) {
+			if n.onDeliver != nil {
+				n.onDeliver(Delivery{
+					Src: int(src), Dst: int(dst), Seq: seq, Data: data, At: t,
+				})
+			}
+		}
+	}
+	return n
+}
+
+// Nodes returns the network size.
+func (n *Network) Nodes() int { return n.w.Net.N() }
+
+// Now returns the current simulated time in seconds.
+func (n *Network) Now() float64 { return n.w.Eng.Now() }
+
+// OnDeliver registers a callback for application deliveries (ALERT only).
+func (n *Network) OnDeliver(fn func(Delivery)) { n.onDeliver = fn }
+
+// Send routes one message from node src to node dst with the configured
+// protocol. It returns an error for invalid node ids; the transmission
+// itself is asynchronous — advance time with RunFor or RunUntil.
+func (n *Network) Send(src, dst int, data []byte) error {
+	if src < 0 || src >= n.Nodes() || dst < 0 || dst >= n.Nodes() {
+		return fmt.Errorf("alert: node id out of range [0, %d)", n.Nodes())
+	}
+	if src == dst {
+		return fmt.Errorf("alert: source and destination are the same node")
+	}
+	n.w.Proto.Send(medium.NodeID(src), medium.NodeID(dst), data)
+	return nil
+}
+
+// OnRequest sets the destination-side request handler: when a request
+// reaches a destination, the handler's return value is routed back
+// anonymously to the source zone (ALERT only; Section 2.2's
+// request/response interaction).
+func (n *Network) OnRequest(fn func(dst int, query []byte) []byte) {
+	if n.w.Alert == nil || fn == nil {
+		return
+	}
+	n.w.Alert.OnRequest = func(dst medium.NodeID, query []byte) []byte {
+		return fn(int(dst), query)
+	}
+}
+
+// Request sends a query from src to dst and invokes onReply at the source
+// when the destination's response arrives (requires OnRequest to be set).
+func (n *Network) Request(src, dst int, query []byte, onReply func(data []byte, at float64)) error {
+	if src < 0 || src >= n.Nodes() || dst < 0 || dst >= n.Nodes() {
+		return fmt.Errorf("alert: node id out of range [0, %d)", n.Nodes())
+	}
+	if src == dst {
+		return fmt.Errorf("alert: source and destination are the same node")
+	}
+	if n.w.Alert == nil {
+		return fmt.Errorf("alert: request/reply requires the ALERT protocol")
+	}
+	n.w.Alert.Request(medium.NodeID(src), medium.NodeID(dst), query, onReply)
+	return nil
+}
+
+// RunFor advances the simulation by d simulated seconds.
+func (n *Network) RunFor(d float64) { n.w.Eng.RunUntil(n.w.Eng.Now() + d) }
+
+// RunUntil advances the simulation to absolute time t.
+func (n *Network) RunUntil(t float64) { n.w.Eng.RunUntil(t) }
+
+// Position returns a node's current true position in meters.
+func (n *Network) Position(id int) (x, y float64) {
+	p := n.w.Med.PositionNow(medium.NodeID(id))
+	return p.X, p.Y
+}
+
+// DestZone returns the corners (minX, minY, maxX, maxY) of the destination
+// zone Z_D that ALERT would compute for a node right now.
+func (n *Network) DestZone(id int) (minX, minY, maxX, maxY float64) {
+	z := experiment.ZoneOf(n.w, medium.NodeID(id))
+	return z.Min.X, z.Min.Y, z.Max.X, z.Max.Y
+}
+
+// Metrics returns the run's metrics so far.
+func (n *Network) Metrics() Result {
+	r := n.w.Collect(nil)
+	return Result{
+		PacketsSent:          r.Sent,
+		DeliveryRate:         r.DeliveryRate,
+		MeanLatencySeconds:   r.MeanLatency,
+		HopsPerPacket:        r.HopsPerPacket,
+		MeanRandomForwarders: r.MeanRFs,
+		ParticipatingNodes:   r.Participants,
+		RouteSimilarity:      r.RouteJaccard,
+	}
+}
+
+// RouteMap renders an ASCII map (w x h characters) of the most recent
+// delivered packet's route: '.' nodes, numbered relays in hop order, 'S'
+// and 'D' endpoints, '#' the destination-zone outline. Returns "" when
+// nothing has been delivered yet.
+func (n *Network) RouteMap(w, h int) string {
+	recs := n.w.Proto.Collector().Records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if !r.Delivered {
+			continue
+		}
+		positions := make([]geo.Point, n.Nodes())
+		for id := range positions {
+			positions[id] = n.w.Med.PositionNow(medium.NodeID(id))
+		}
+		zd := experiment.ZoneOf(n.w, r.Dst)
+		return trace.RouteMap(n.w.Net.Field(), positions, r.Path, r.Src, r.Dst, zd, w, h)
+	}
+	return ""
+}
+
+// RouteSVG renders the most recent delivered packet's route as an SVG
+// document (see RouteMap for the ASCII form). Returns "" before the first
+// delivery.
+func (n *Network) RouteSVG(width int, title string) string {
+	recs := n.w.Proto.Collector().Records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if !r.Delivered {
+			continue
+		}
+		positions := make([]geo.Point, n.Nodes())
+		for id := range positions {
+			positions[id] = n.w.Med.PositionNow(medium.NodeID(id))
+		}
+		zd := experiment.ZoneOf(n.w, r.Dst)
+		return trace.RouteSVG(n.w.Net.Field(), positions, r.Path, r.Src, r.Dst,
+			zd, trace.SVGOptions{Width: width, Title: title})
+	}
+	return ""
+}
+
+// PartitionDepth returns ALERT's H for this network (0 for baselines).
+func (n *Network) PartitionDepth() int {
+	if n.w.Alert == nil {
+		return 0
+	}
+	return n.w.Alert.H()
+}
+
+// ALERTConfig exposes the full protocol configuration for advanced use.
+func ALERTConfig() core.Config { return core.DefaultConfig() }

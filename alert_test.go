@@ -1,0 +1,333 @@
+package alert
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 30
+	res := Run(cfg)
+	if res.PacketsSent == 0 {
+		t.Fatal("no packets sent")
+	}
+	if res.DeliveryRate < 0.9 {
+		t.Fatalf("delivery = %v", res.DeliveryRate)
+	}
+	if res.MeanLatencySeconds <= 0 {
+		t.Fatal("no latency measured")
+	}
+	if res.MeanRandomForwarders <= 0 {
+		t.Fatal("ALERT used no random forwarders")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	for _, p := range []Protocol{GPSR, ALARM, AO2P} {
+		cfg := DefaultConfig()
+		cfg.Protocol = p
+		cfg.Duration = 20
+		res := Run(cfg)
+		if res.DeliveryRate < 0.9 {
+			t.Fatalf("%s delivery = %v", p, res.DeliveryRate)
+		}
+		if res.MeanRandomForwarders != 0 {
+			t.Fatalf("%s reported random forwarders", p)
+		}
+	}
+}
+
+func TestRunSeedsFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 15
+	agg := RunSeeds(cfg, 2)
+	if agg.DeliveryRate.N != 2 {
+		t.Fatalf("N = %d", agg.DeliveryRate.N)
+	}
+	if agg.DeliveryRate.Mean <= 0 {
+		t.Fatal("no delivery")
+	}
+	if agg.MeanLatencySeconds.CI95 < 0 || agg.HopsPerPacket.StdDev < 0 {
+		t.Fatal("spread stats invalid")
+	}
+}
+
+func TestNetworkInteractive(t *testing.T) {
+	cfg := DefaultConfig()
+	net := NewNetwork(cfg)
+	if net.Nodes() != 200 {
+		t.Fatalf("nodes = %d", net.Nodes())
+	}
+	if net.PartitionDepth() != 5 {
+		t.Fatalf("H = %d", net.PartitionDepth())
+	}
+	var got Delivery
+	net.OnDeliver(func(d Delivery) { got = d })
+	// Find a far pair for a meaningful route.
+	src, dst := 0, 0
+	sx, sy := net.Position(0)
+	for i := 1; i < net.Nodes(); i++ {
+		x, y := net.Position(i)
+		if (x-sx)*(x-sx)+(y-sy)*(y-sy) > 500*500 {
+			dst = i
+			break
+		}
+	}
+	if dst == 0 {
+		t.Skip("no far node")
+	}
+	if err := net.Send(src, dst, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(10)
+	if got.Data == nil {
+		t.Skip("undeliverable placement")
+	}
+	if !bytes.Equal(got.Data, []byte("ping")) || got.Src != src || got.Dst != dst {
+		t.Fatalf("delivery = %+v", got)
+	}
+	if got.At <= 0 || got.At > net.Now() {
+		t.Fatalf("delivery time %v outside run window", got.At)
+	}
+	m := net.Metrics()
+	if m.PacketsSent != 1 || m.DeliveryRate != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestNetworkSendValidation(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	if err := net.Send(-1, 5, nil); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if err := net.Send(0, 9999, nil); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if err := net.Send(3, 3, nil); err == nil {
+		t.Fatal("self-send accepted")
+	}
+}
+
+func TestNetworkDestZone(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	minX, minY, maxX, maxY := net.DestZone(7)
+	if maxX <= minX || maxY <= minY {
+		t.Fatal("degenerate zone")
+	}
+	x, y := net.Position(7)
+	if x < minX || x > maxX || y < minY || y > maxY {
+		t.Fatal("node outside its own destination zone")
+	}
+	// Zone area is field/2^H.
+	area := (maxX - minX) * (maxY - minY)
+	want := 1000.0 * 1000.0 / 32
+	if area != want {
+		t.Fatalf("zone area %v, want %v", area, want)
+	}
+}
+
+func TestAnalysisFacade(t *testing.T) {
+	if ExpectedRandomForwarders(6) <= ExpectedRandomForwarders(3) {
+		t.Fatal("E[RFs] not increasing")
+	}
+	if PossibleParticipatingNodes(200, 5, 1000) <= PossibleParticipatingNodes(100, 5, 1000) {
+		t.Fatal("participants not increasing in N")
+	}
+	if RemainingNodes(20, 200, 5, 1000, 2) >= RemainingNodes(0, 200, 5, 1000, 2) {
+		t.Fatal("remaining nodes should decay")
+	}
+	if RequiredDensity(5, 10, 5, 1000, 8) <= RequiredDensity(5, 10, 5, 1000, 2) {
+		t.Fatal("required density should grow with speed")
+	}
+}
+
+func TestAttackFacades(t *testing.T) {
+	r := RunIntersectionAttack(1, 10, false)
+	if r.Waves == 0 {
+		t.Fatal("attack observed nothing")
+	}
+	set, eta := SourceAnonymitySet(1, true)
+	if set <= 1 || eta == 0 {
+		t.Fatalf("anonymity set %d (eta %d)", set, eta)
+	}
+	if s := TimingAttackScore(1, GPSR, 10); s <= 0 {
+		t.Fatalf("timing score = %v", s)
+	}
+	if p := InterceptionProbability(1, GPSR, 10, 3); p <= 0 {
+		t.Fatalf("interception = %v", p)
+	}
+}
+
+func TestALERTConfigExposed(t *testing.T) {
+	cfg := ALERTConfig()
+	if cfg.K != 6 || cfg.PacketSize != 512 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+func TestGroupMobilityConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mobility = GroupMobility
+	cfg.Groups = 5
+	cfg.GroupRange = 200
+	cfg.Duration = 15
+	res := Run(cfg)
+	if res.PacketsSent == 0 {
+		t.Fatal("group mobility run sent nothing")
+	}
+}
+
+func TestRouteMap(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	if net.RouteMap(60, 30) != "" {
+		t.Fatal("route map before any delivery should be empty")
+	}
+	// Deliver something.
+	src, dst := 0, 0
+	sx, sy := net.Position(0)
+	for i := 1; i < net.Nodes(); i++ {
+		x, y := net.Position(i)
+		if (x-sx)*(x-sx)+(y-sy)*(y-sy) > 500*500 {
+			dst = i
+			break
+		}
+	}
+	if dst == 0 {
+		t.Skip("no far node")
+	}
+	_ = net.Send(src, dst, []byte("x"))
+	net.RunFor(10)
+	m := net.RouteMap(60, 30)
+	if m == "" {
+		t.Skip("undeliverable placement")
+	}
+	for _, want := range []string{"S", "D", "#"} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("route map missing %q:\n%s", want, m)
+		}
+	}
+}
+
+func TestNetworkRequestReply(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	net.OnRequest(func(dst int, query []byte) []byte {
+		return append([]byte("ack:"), query...)
+	})
+	src, dst := 0, 0
+	sx, sy := net.Position(0)
+	for i := 1; i < net.Nodes(); i++ {
+		x, y := net.Position(i)
+		if (x-sx)*(x-sx)+(y-sy)*(y-sy) > 500*500 {
+			dst = i
+			break
+		}
+	}
+	if dst == 0 {
+		t.Skip("no far node")
+	}
+	var reply []byte
+	if err := net.Request(src, dst, []byte("sitrep"), func(data []byte, _ float64) {
+		reply = data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(20)
+	if reply == nil {
+		t.Skip("round trip failed in this placement")
+	}
+	if string(reply) != "ack:sitrep" {
+		t.Fatalf("reply = %q", reply)
+	}
+	// Validation errors.
+	if err := net.Request(-1, 2, nil, nil); err == nil {
+		t.Fatal("bad src accepted")
+	}
+	if err := net.Request(2, 2, nil, nil); err == nil {
+		t.Fatal("self request accepted")
+	}
+	gpsrNet := NewNetwork(func() Config { c := DefaultConfig(); c.Protocol = GPSR; return c }())
+	if err := gpsrNet.Request(0, 1, nil, nil); err == nil {
+		t.Fatal("request on GPSR accepted")
+	}
+}
+
+func TestPresetsFacade(t *testing.T) {
+	ps := ListPresets()
+	if len(ps) < 6 {
+		t.Fatalf("presets = %d", len(ps))
+	}
+	r, err := RunPreset("sparse", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PacketsSent == 0 {
+		t.Fatal("preset run sent nothing")
+	}
+	if _, err := RunPreset("bogus", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic = PoissonLoad
+	cfg.Duration = 20
+	r := Run(cfg)
+	if r.PacketsSent == 0 {
+		t.Fatal("poisson workload sent nothing")
+	}
+}
+
+func TestZAPFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = ZAP
+	cfg.Duration = 20
+	r := Run(cfg)
+	if r.DeliveryRate < 0.85 {
+		t.Fatalf("ZAP delivery = %v", r.DeliveryRate)
+	}
+}
+
+func TestCoverageAndTriangulationFacades(t *testing.T) {
+	if ZoneCoveragePercent(3, 6, 1) != 1 {
+		t.Fatal("pc=1 coverage wrong")
+	}
+	plain := SourceLocationError(1, false)
+	covered := SourceLocationError(1, true)
+	if plain < 0 || covered < 0 {
+		t.Fatal("no observation")
+	}
+	if covered <= plain {
+		t.Fatal("cover traffic should degrade the estimate")
+	}
+}
+
+func TestRouteSVGFacade(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	if net.RouteSVG(300, "t") != "" {
+		t.Fatal("svg before delivery should be empty")
+	}
+	dst := 0
+	sx, sy := net.Position(0)
+	for i := 1; i < net.Nodes(); i++ {
+		x, y := net.Position(i)
+		if (x-sx)*(x-sx)+(y-sy)*(y-sy) > 500*500 {
+			dst = i
+			break
+		}
+	}
+	if dst == 0 {
+		t.Skip("no far node")
+	}
+	_ = net.Send(0, dst, []byte("x"))
+	net.RunFor(10)
+	svg := net.RouteSVG(300, "demo route")
+	if svg == "" {
+		t.Skip("undeliverable placement")
+	}
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "demo route") {
+		t.Fatal("svg malformed")
+	}
+}

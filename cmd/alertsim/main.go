@@ -1,0 +1,170 @@
+// Command alertsim runs one MANET simulation scenario and prints the
+// paper's evaluation metrics.
+//
+// Examples:
+//
+//	alertsim                                   # ALERT, paper defaults
+//	alertsim -protocol gpsr -nodes 100
+//	alertsim -protocol alert -speed 8 -no-updates
+//	alertsim -seeds 30                         # mean ± 95% CI over 30 runs
+//	alertsim -mobility group -groups 5 -grouprange 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alertmanet/internal/experiment"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/trace"
+)
+
+func main() {
+	var (
+		protocol   = flag.String("protocol", "alert", "protocol: alert, gpsr, alarm, ao2p, zap")
+		nodes      = flag.Int("nodes", 200, "number of nodes")
+		speed      = flag.Float64("speed", 2, "node speed in m/s")
+		duration   = flag.Float64("duration", 100, "simulated seconds")
+		pairs      = flag.Int("pairs", 10, "S-D communication pairs")
+		interval   = flag.Float64("interval", 2, "seconds between packets per pair")
+		seed       = flag.Int64("seed", 1, "random seed")
+		seeds      = flag.Int("seeds", 1, "number of independent runs to aggregate")
+		mobility   = flag.String("mobility", "rwp", "mobility: rwp, group, static, ns2")
+		groups     = flag.Int("groups", 10, "groups for group mobility")
+		groupRange = flag.Float64("grouprange", 150, "group movement range in meters")
+		loss       = flag.Float64("loss", 0, "random frame loss probability")
+		noUpdates  = flag.Bool("no-updates", false, "disable destination location updates")
+		k          = flag.Int("k", 6, "ALERT destination k-anonymity")
+		hOverride  = flag.Int("H", 0, "override ALERT partition count (0 = derive from k)")
+		notify     = flag.Bool("notify-and-go", false, "enable ALERT source cover traffic")
+		guard      = flag.Bool("intersection-guard", false, "enable ALERT two-step multicast")
+		confirm    = flag.Bool("confirm", false, "enable confirmations + retransmission")
+		naks       = flag.Bool("naks", false, "enable NAK-based loss recovery")
+		showMap    = flag.Bool("map", false, "print an ASCII map of one routed packet")
+		svgOut     = flag.String("svg", "", "write an SVG of one routed packet to this file")
+		traceFile  = flag.String("ns2-trace", "", "replay an NS-2 setdest movement script")
+		preset     = flag.String("preset", "", "start from a named preset (see -list-presets)")
+		listPre    = flag.Bool("list-presets", false, "list scenario presets and exit")
+		workload   = flag.String("workload", "cbr", "traffic model: cbr, poisson, burst")
+	)
+	flag.Parse()
+
+	if *listPre {
+		for _, p := range experiment.Presets() {
+			fmt.Printf("  %-14s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+
+	sc := experiment.DefaultScenario()
+	if *preset != "" {
+		p, err := experiment.FindPreset(*preset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc = p.Scenario
+		// Explicit flags below still override the preset where given.
+	}
+	sc.Seed = *seed
+	sc.Protocol = experiment.ProtocolName(*protocol)
+	sc.N = *nodes
+	sc.Speed = *speed
+	sc.Duration = *duration
+	sc.Pairs = *pairs
+	sc.Interval = *interval
+	sc.Mobility = experiment.MobilityName(*mobility)
+	if *traceFile != "" {
+		sc.Mobility = experiment.NS2Trace
+		sc.NS2TracePath = *traceFile
+	}
+	sc.Groups = *groups
+	sc.GroupRange = *groupRange
+	sc.LossRate = *loss
+	sc.LocUpdates = !*noUpdates
+	sc.Alert.K = *k
+	sc.Alert.H = *hOverride
+	sc.Alert.NotifyAndGo = *notify
+	sc.Alert.IntersectionGuard = *guard
+	sc.Alert.Confirm = *confirm
+	sc.Alert.NAKs = *naks
+	sc.Workload = experiment.WorkloadName(*workload)
+
+	switch sc.Protocol {
+	case experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
+		experiment.ZAP:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	fmt.Printf("scenario: %s, %d nodes, %.0f m/s, %s mobility, %.0f s, %d pairs\n",
+		sc.Protocol, sc.N, sc.Speed, sc.Mobility, sc.Duration, sc.Pairs)
+
+	if *showMap {
+		printRouteMap(sc, "")
+	}
+	if *svgOut != "" {
+		printRouteMap(sc, *svgOut)
+	}
+
+	if *seeds <= 1 {
+		r := experiment.Run(sc)
+		fmt.Printf("packets sent:          %d\n", r.Sent)
+		fmt.Printf("delivery rate:         %.4f\n", r.DeliveryRate)
+		fmt.Printf("latency per packet:    %.2f ms\n", r.MeanLatency*1e3)
+		fmt.Printf("hops per packet:       %.2f\n", r.HopsPerPacket)
+		fmt.Printf("random forwarders:     %.2f\n", r.MeanRFs)
+		fmt.Printf("participating nodes:   %d\n", r.Participants)
+		fmt.Printf("route similarity:      %.3f (Jaccard; low = anonymous)\n", r.RouteJaccard)
+		fmt.Printf("energy per delivered:  %.2f mJ\n", r.EnergyPerDelivered*1e3)
+		return
+	}
+
+	agg := experiment.RunSeeds(sc, *seeds)
+	fmt.Printf("aggregated over %d runs (mean ± 95%% CI):\n", *seeds)
+	fmt.Printf("delivery rate:         %.4f ± %.4f\n", agg.DeliveryRate.Mean, agg.DeliveryRate.CI95)
+	fmt.Printf("latency per packet:    %.2f ± %.2f ms\n", agg.MeanLatency.Mean*1e3, agg.MeanLatency.CI95*1e3)
+	fmt.Printf("hops per packet:       %.2f ± %.2f\n", agg.HopsPerPacket.Mean, agg.HopsPerPacket.CI95)
+	fmt.Printf("random forwarders:     %.2f ± %.2f\n", agg.MeanRFs.Mean, agg.MeanRFs.CI95)
+	fmt.Printf("participating nodes:   %.1f ± %.1f\n", agg.Participants.Mean, agg.Participants.CI95)
+	fmt.Printf("route similarity:      %.3f ± %.3f\n", agg.RouteJaccard.Mean, agg.RouteJaccard.CI95)
+}
+
+// printRouteMap runs one packet on a fresh copy of the scenario and renders
+// its route as an ASCII map (svgPath == "") or an SVG file.
+func printRouteMap(sc experiment.Scenario, svgPath string) {
+	w := experiment.Build(sc)
+	pairs := w.ChoosePairs()[:1]
+	w.StartWorkload(pairs)
+	w.Eng.RunUntil(10)
+	for _, r := range w.Proto.Collector().Records() {
+		if !r.Delivered {
+			continue
+		}
+		positions := make([]geo.Point, w.Net.N())
+		for id := range positions {
+			positions[id] = w.Med.PositionNow(medium.NodeID(id))
+		}
+		zd := experiment.ZoneOf(w, r.Dst)
+		if svgPath != "" {
+			title := fmt.Sprintf("%s route, %d hops", sc.Protocol, r.Hops)
+			svg := trace.RouteSVG(w.Net.Field(), positions, r.Path, r.Src, r.Dst,
+				zd, trace.SVGOptions{Title: title})
+			if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", svgPath)
+			return
+		}
+		fmt.Println("route of one delivered packet ('S' source, 'D' destination,")
+		fmt.Println("numbered relays in hop order, '#' destination zone):")
+		fmt.Print(trace.RouteMap(w.Net.Field(), positions, r.Path, r.Src, r.Dst,
+			zd, 76, 30))
+		return
+	}
+	fmt.Println("(no packet delivered in the first 10 s; no map)")
+}

@@ -1,0 +1,61 @@
+// Command analysis prints the paper's Section 4 analytical curves:
+//
+//	analysis fig7a     possible participating nodes vs partitions (Eq. 7)
+//	analysis fig7b     expected random forwarders vs partitions (Eq. 10)
+//	analysis fig9a     remaining nodes vs time by density (Eq. 15)
+//	analysis fig9b     remaining nodes vs time by speed (Eq. 15)
+//	analysis overhead  location-service overhead ratio (Section 4.3)
+//	analysis all       everything
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"alertmanet/internal/analysis"
+	"alertmanet/internal/experiment"
+)
+
+var times = []float64{0, 5, 10, 15, 20, 25, 30, 40, 50}
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	any := false
+	if which == "fig7a" || which == "all" {
+		any = true
+		experiment.RenderSeries(os.Stdout, "Fig. 7a (analysis): possible participating nodes vs partitions",
+			analysis.Fig7aPossibleParticipants([]int{100, 200, 400}, 8, 1000))
+	}
+	if which == "fig7b" || which == "all" {
+		any = true
+		experiment.RenderSeries(os.Stdout, "Fig. 7b (analysis): expected random forwarders vs partitions",
+			[]analysis.Series{analysis.Fig7bExpectedRFs(8)})
+	}
+	if which == "fig9a" || which == "all" {
+		any = true
+		experiment.RenderSeries(os.Stdout, "Fig. 9a (analysis): remaining nodes vs time (v=2 m/s, H=5)",
+			analysis.Fig9aRemainingNodes([]int{100, 200, 400}, 5, 1000, 2, times))
+	}
+	if which == "fig9b" || which == "all" {
+		any = true
+		experiment.RenderSeries(os.Stdout, "Fig. 9b (analysis): remaining nodes vs time (N=200, H=5)",
+			analysis.Fig9bRemainingNodes(200, 5, 1000, []float64{1, 2, 4}, times))
+	}
+	if which == "overhead" || which == "all" {
+		any = true
+		fmt.Println("== Section 4.3: location service overhead ratio ==")
+		fmt.Println("   (N_L(N_L-1)f + Nf) / (NF) for N=200, N_L=15, f=0.5/s")
+		for _, f := range []float64{1, 2, 5, 10, 20} {
+			nl, n, fr := 15.0, 200.0, 0.5
+			ratio := (nl*(nl-1)*fr + n*fr) / (n * f)
+			fmt.Printf("   F = %5.1f msg/node/s  ->  ratio %.4f\n", f, ratio)
+		}
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (fig7a|fig7b|fig9a|fig9b|overhead|all)\n", which)
+		os.Exit(2)
+	}
+}

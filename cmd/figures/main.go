@@ -1,0 +1,207 @@
+// Command figures regenerates every simulation figure and table of the
+// paper's evaluation (Section 5) by running the corresponding experiments.
+//
+//	figures -seeds 5 all
+//	figures fig14a fig15a
+//	figures table1
+//
+// Figure names: fig10a fig10b fig11 fig12 fig13a fig13b fig14a fig14b
+// fig15a fig15b fig16a fig16b fig17 table1 anonymity energy compare. The paper averages 30
+// seeds; lower -seeds for a faster pass (shapes stabilize by ~5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"alertmanet/internal/analysis"
+	"alertmanet/internal/experiment"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 5, "independent runs per data point (paper: 30)")
+	format := flag.String("format", "text", "output format: text or csv")
+	outDir := flag.String("o", "", "write each figure to <dir>/<name>.{txt,csv} instead of stdout")
+	flag.Parse()
+	baseRender := experiment.RenderSeries
+	ext := ".txt"
+	if *format == "csv" {
+		baseRender = experiment.RenderCSV
+		ext = ".csv"
+	}
+	current := ""
+	render := func(w io.Writer, title string, series []analysis.Series) {
+		if *outDir == "" {
+			baseRender(w, title, series)
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, current+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		baseRender(f, title, series)
+		f.Close()
+		fmt.Println("wrote", path)
+	}
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(name string, fn func()) {
+		if all || want[name] {
+			current = name
+			fn()
+			ran++
+			fmt.Println()
+		}
+	}
+
+	times := []float64{0, 5, 10, 15, 20, 30, 40, 50}
+
+	run("fig10a", func() {
+		render(os.Stdout,
+			"Fig. 10a: cumulative actual participating nodes vs packets",
+			experiment.Fig10a(20, *seeds))
+	})
+	run("fig10b", func() {
+		render(os.Stdout,
+			"Fig. 10b: participating nodes after 20 packets vs network size",
+			experiment.Fig10b(20, *seeds))
+	})
+	run("fig11", func() {
+		render(os.Stdout,
+			"Fig. 11: random forwarders vs partitions (simulated; cf. Fig. 7b)",
+			[]analysis.Series{experiment.Fig11(7, *seeds)})
+	})
+	run("fig12", func() {
+		render(os.Stdout,
+			"Fig. 12: remaining nodes in Z_D vs time by density (H=5, v=2)",
+			experiment.Fig12(times, *seeds))
+	})
+	run("fig13a", func() {
+		render(os.Stdout,
+			"Fig. 13a: remaining nodes vs time by H and speed (N=200)",
+			experiment.Fig13a(times, *seeds))
+	})
+	run("fig13b", func() {
+		render(os.Stdout,
+			"Fig. 13b: required density vs speed (4 nodes remaining at t=10s)",
+			[]analysis.Series{experiment.Fig13b(4, []float64{1, 2, 4, 6, 8}, *seeds)})
+	})
+	run("fig14a", func() {
+		render(os.Stdout,
+			"Fig. 14a: latency per packet (s) vs number of nodes",
+			experiment.Fig14a(*seeds))
+	})
+	run("fig14b", func() {
+		render(os.Stdout,
+			"Fig. 14b: latency per packet (s) vs node speed",
+			experiment.Fig14b(*seeds))
+	})
+	run("fig15a", func() {
+		render(os.Stdout,
+			"Fig. 15a: hops per packet vs number of nodes",
+			experiment.Fig15a(*seeds))
+	})
+	run("fig15b", func() {
+		render(os.Stdout,
+			"Fig. 15b: hops per packet vs node speed",
+			experiment.Fig15b(*seeds))
+	})
+	run("fig16a", func() {
+		render(os.Stdout,
+			"Fig. 16a: delivery rate vs number of nodes",
+			experiment.Fig16a(*seeds))
+	})
+	run("fig16b", func() {
+		render(os.Stdout,
+			"Fig. 16b: delivery rate vs node speed (with/without destination update)",
+			experiment.Fig16b(*seeds))
+	})
+	run("fig17", func() {
+		render(os.Stdout,
+			"Fig. 17: ALERT delay (s) under different movement models",
+			experiment.Fig17(*seeds))
+	})
+	run("energy", func() {
+		fmt.Println("== Energy per delivered packet (transmission + cryptography) ==")
+		for _, p := range []experiment.ProtocolName{
+			experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
+		} {
+			var e float64
+			for s := 1; s <= *seeds; s++ {
+				sc := experiment.DefaultScenario()
+				sc.Seed = int64(s)
+				sc.Protocol = p
+				sc.Duration = 40
+				e += experiment.Run(sc).EnergyPerDelivered
+			}
+			fmt.Printf("  %-6s %8.2f mJ\n", p, e/float64(*seeds)*1e3)
+		}
+	})
+	run("compare", func() {
+		fmt.Println("== Pairwise protocol comparisons (Welch's t-test, 95%) ==")
+		comps := experiment.CompareProtocols([]experiment.ProtocolName{
+			experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
+		}, *seeds, 40)
+		for _, c := range comps {
+			verdict := "not significant"
+			if c.Welch.Significant {
+				verdict = "SIGNIFICANT"
+			}
+			fmt.Printf("  %-17s %-6s %10.4f  vs  %-6s %10.4f   t=%7.2f df=%-3d %s\n",
+				c.Metric, c.A, c.MeanA, c.B, c.MeanB, c.Welch.T, c.Welch.DF, verdict)
+		}
+	})
+	run("table1", func() {
+		fmt.Println("== Table 1: anonymous routing protocol taxonomy ==")
+		fmt.Print(experiment.FormatTable1())
+	})
+	run("anonymity", func() {
+		fmt.Println("== Section 3 attack experiments ==")
+		for _, guard := range []bool{false, true} {
+			dstIn, exposed := 0, 0
+			for s := int64(1); s <= int64(*seeds); s++ {
+				r := experiment.IntersectionAttack(s, 25, guard)
+				if r.DstCandidate {
+					dstIn++
+				}
+				if r.Exposed {
+					exposed++
+				}
+			}
+			fmt.Printf("  intersection attack (guard=%v): D still candidate %d/%d, exposed %d/%d\n",
+				guard, dstIn, *seeds, exposed, *seeds)
+		}
+		with := experiment.SourceAnonymity(1, true)
+		without := experiment.SourceAnonymity(1, false)
+		fmt.Printf("  notify-and-go: anonymity set %d (eta=%d) vs %d without\n",
+			with.AnonymitySet, with.Neighbors, without.AnonymitySet)
+		fmt.Printf("  timing attack score: ALERT %.2f vs GPSR %.2f\n",
+			experiment.TimingAttackScore(1, experiment.ALERT, 20),
+			experiment.TimingAttackScore(1, experiment.GPSR, 20))
+		fmt.Printf("  interception by 3 compromised nodes: ALERT %.2f vs GPSR %.2f\n",
+			experiment.InterceptionExperiment(1, experiment.ALERT, 20, 3),
+			experiment.InterceptionExperiment(1, experiment.GPSR, 20, 3))
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no matching figures among %v\n", targets)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,42 @@
+// Command report regenerates the full paper-vs-measured evaluation as one
+// markdown document: analytical curves, every simulation figure, Table 1,
+// the attack experiments, energy, and pairwise significance tests.
+//
+//	report -seeds 30 > report.md
+//	report -seeds 5 -sections figures,attacks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"alertmanet/internal/report"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 5, "independent runs per data point (paper: 30)")
+	sections := flag.String("sections", "", "comma-separated subset: analytical,figures,table1,attacks,energy,compare")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	cfg := report.Config{Seeds: *seeds}
+	if *sections != "" {
+		cfg.Sections = strings.Split(*sections, ",")
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.Generate(w, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

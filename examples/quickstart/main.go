@@ -1,0 +1,68 @@
+// Quickstart: build a 200-node MANET, route one anonymous message with
+// ALERT, and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	alert "alertmanet"
+)
+
+func main() {
+	cfg := alert.DefaultConfig() // the paper's setup: 1 km^2, 200 nodes, 2 m/s
+	net := alert.NewNetwork(cfg)
+
+	// Pick a source and a destination on opposite sides of the field.
+	src, dst := farPair(net)
+	sx, sy := net.Position(src)
+	dx, dy := net.Position(dst)
+	fmt.Printf("source      node %3d at (%4.0f, %4.0f)\n", src, sx, sy)
+	fmt.Printf("destination node %3d at (%4.0f, %4.0f)\n", dst, dx, dy)
+
+	// ALERT never routes to D's position — only to its destination zone,
+	// which holds about k nodes and hides D among them.
+	minX, minY, maxX, maxY := net.DestZone(dst)
+	fmt.Printf("destination zone Z_D: (%.0f, %.0f)-(%.0f, %.0f), H=%d partitions\n",
+		minX, minY, maxX, maxY, net.PartitionDepth())
+
+	net.OnDeliver(func(d alert.Delivery) {
+		fmt.Printf("delivered %q to node %d after %.1f ms\n",
+			d.Data, d.Dst, d.At*1e3)
+	})
+
+	if err := net.Send(src, dst, []byte("hello, anonymous world")); err != nil {
+		log.Fatal(err)
+	}
+	net.RunFor(10) // advance 10 simulated seconds
+
+	m := net.Metrics()
+	fmt.Printf("hops used: %.0f (random forwarders: %.0f)\n",
+		m.HopsPerPacket, m.MeanRandomForwarders)
+	if m.DeliveryRate == 1 {
+		fmt.Println("the route was assembled from random forwarders — no node on it")
+		fmt.Println("knew the source or destination identity or position:")
+		fmt.Println()
+		fmt.Print(net.RouteMap(76, 28))
+		fmt.Println("('S' source, 'D' destination, digits = relays in hop order,")
+		fmt.Println(" '#' = destination zone Z_D, '.' = other nodes)")
+	} else {
+		fmt.Println("undelivered in this placement — rerun with another -seed")
+	}
+}
+
+// farPair finds two nodes at least 600 m apart so the route is interesting.
+func farPair(net *alert.Network) (int, int) {
+	for s := 0; s < net.Nodes(); s++ {
+		sx, sy := net.Position(s)
+		for d := s + 1; d < net.Nodes(); d++ {
+			dx, dy := net.Position(d)
+			if (sx-dx)*(sx-dx)+(sy-dy)*(sy-dy) >= 600*600 {
+				return s, d
+			}
+		}
+	}
+	return 0, 1
+}

@@ -1,0 +1,3 @@
+module alertmanet
+
+go 1.22

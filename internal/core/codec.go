@@ -1,0 +1,229 @@
+// Wire codec for the ALERT packet format (Fig. 4). The simulator passes
+// *Envelope values through the medium directly (cheap and type-safe), but a
+// deployment needs the bits on air; Marshal/Unmarshal implement that layout
+// so the format is complete and testable end to end:
+//
+//	kind(1) | PS(20) | PD(20) | L_ZD(32) | TD(16) | dir(1) | h(2) | H(2) |
+//	len(EncLZS)(2)   | EncLZS   |
+//	len(EncSymKey)(2)| EncSymKey|
+//	len(EncTTL)(2)   | EncTTL   |
+//	len(EncBitmap)(2)| EncBitmap|
+//	seq(4) | len(Payload)(4) | Payload
+//
+// All multi-byte integers are big-endian. Zone positions are two corner
+// points (Section 2.4's "upper left and bottom-right coordinates"). The
+// destination public key rides in the key-distribution plane (location
+// service), not in every packet, so it is not part of the wire layout; the
+// simulator-only fields (flight, Zone, relayed, ...) never leave the host.
+
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"alertmanet/internal/geo"
+)
+
+// ErrTruncated reports a wire packet shorter than its declared contents.
+var ErrTruncated = errors.New("core: truncated packet")
+
+const fixedHeader = 1 + 20 + 20 + 32 + 16 + 1 + 2 + 2
+
+// Marshal serializes the envelope's wire fields.
+func Marshal(env *Envelope) []byte {
+	size := fixedHeader +
+		2 + len(env.EncLZS) +
+		2 + len(env.EncSymKey) +
+		2 + len(env.EncTTL) +
+		2 + len(env.EncBitmap) +
+		4 + 4 + len(env.Payload)
+	buf := make([]byte, 0, size)
+
+	buf = append(buf, byte(env.Kind))
+	buf = append(buf, env.PS[:]...)
+	buf = append(buf, env.PD[:]...)
+	buf = append(buf, encodeRect(env.LZD)...)
+	buf = appendFloat(buf, env.TD.X)
+	buf = appendFloat(buf, env.TD.Y)
+	buf = append(buf, byte(env.Dir))
+	buf = appendUint16(buf, uint16(env.Hdiv))
+	buf = appendUint16(buf, uint16(env.Hmax))
+	buf = appendBlob(buf, env.EncLZS)
+	buf = appendBlob(buf, env.EncSymKey)
+	buf = appendBlob(buf, env.EncTTL)
+	buf = appendBlob(buf, env.EncBitmap)
+	buf = appendUint32(buf, uint32(env.Seq))
+	buf = appendUint32(buf, uint32(len(env.Payload)))
+	buf = append(buf, env.Payload...)
+	return buf
+}
+
+// WireSize returns the on-air size of the envelope in bytes.
+func WireSize(env *Envelope) int { return len(Marshal(env)) }
+
+// Unmarshal parses a wire packet back into an envelope (wire fields only).
+func Unmarshal(buf []byte) (*Envelope, error) {
+	r := reader{buf: buf}
+	env := &Envelope{}
+	kind, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind > byte(KindNAK) {
+		return nil, fmt.Errorf("core: unknown packet kind %d", kind)
+	}
+	env.Kind = Kind(kind)
+	if err := r.copy(env.PS[:]); err != nil {
+		return nil, err
+	}
+	if err := r.copy(env.PD[:]); err != nil {
+		return nil, err
+	}
+	zdRaw, err := r.take(32)
+	if err != nil {
+		return nil, err
+	}
+	if env.LZD, err = decodeRect(zdRaw); err != nil {
+		return nil, err
+	}
+	if env.TD.X, err = r.float(); err != nil {
+		return nil, err
+	}
+	if env.TD.Y, err = r.float(); err != nil {
+		return nil, err
+	}
+	dir, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if dir > 1 {
+		return nil, fmt.Errorf("core: invalid direction bit %d", dir)
+	}
+	env.Dir = geo.Direction(dir)
+	h16, err := r.uint16()
+	if err != nil {
+		return nil, err
+	}
+	env.Hdiv = int(h16)
+	if h16, err = r.uint16(); err != nil {
+		return nil, err
+	}
+	env.Hmax = int(h16)
+	if env.EncLZS, err = r.blob(); err != nil {
+		return nil, err
+	}
+	if env.EncSymKey, err = r.blob(); err != nil {
+		return nil, err
+	}
+	if env.EncTTL, err = r.blob(); err != nil {
+		return nil, err
+	}
+	if env.EncBitmap, err = r.blob(); err != nil {
+		return nil, err
+	}
+	seq, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	env.Seq = int(seq)
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if env.Payload, err = r.take(int(n)); err != nil {
+		return nil, err
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("core: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return env, nil
+}
+
+func appendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v))
+	return append(b, tmp[:]...)
+}
+
+func appendBlob(b, blob []byte) []byte {
+	b = appendUint16(b, uint16(len(blob)))
+	return append(b, blob...)
+}
+
+// reader is a bounds-checked cursor over a wire packet.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	if n == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func (r *reader) copy(dst []byte) error {
+	src, err := r.take(len(dst))
+	if err != nil {
+		return err
+	}
+	copy(dst, src)
+	return nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) float() (float64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+}
+
+func (r *reader) blob() ([]byte, error) {
+	n, err := r.uint16()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(int(n))
+}

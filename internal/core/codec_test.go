@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"alertmanet/internal/crypt"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/gpsr"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/rng"
+)
+
+func sampleEnvelope() *Envelope {
+	src := rng.New(1)
+	return &Envelope{
+		Kind:      KindData,
+		PS:        crypt.NewPseudonym(0xAA, 1, src),
+		PD:        crypt.NewPseudonym(0xBB, 1, src),
+		LZD:       geo.Rect{Min: geo.Point{X: 875, Y: 250}, Max: geo.Point{X: 1000, Y: 500}},
+		TD:        geo.Point{X: 912.25, Y: 333.5},
+		Dir:       geo.Horizontal,
+		Hdiv:      3,
+		Hmax:      5,
+		EncLZS:    []byte{1, 2, 3, 4},
+		EncSymKey: []byte{9, 8, 7},
+		EncTTL:    []byte{5},
+		EncBitmap: nil,
+		Payload:   []byte("encrypted payload bytes"),
+		Seq:       42,
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	env := sampleEnvelope()
+	wire := Marshal(env)
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != env.Kind || got.PS != env.PS || got.PD != env.PD ||
+		got.LZD != env.LZD || got.TD != env.TD || got.Dir != env.Dir ||
+		got.Hdiv != env.Hdiv || got.Hmax != env.Hmax || got.Seq != env.Seq {
+		t.Fatalf("scalar fields mismatch:\n%+v\n%+v", got, env)
+	}
+	for _, pair := range [][2][]byte{
+		{got.EncLZS, env.EncLZS},
+		{got.EncSymKey, env.EncSymKey},
+		{got.EncTTL, env.EncTTL},
+		{got.EncBitmap, env.EncBitmap},
+		{got.Payload, env.Payload},
+	} {
+		if !bytes.Equal(pair[0], pair[1]) {
+			t.Fatalf("blob mismatch: %v vs %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestWireSizeMatchesMarshal(t *testing.T) {
+	env := sampleEnvelope()
+	if WireSize(env) != len(Marshal(env)) {
+		t.Fatal("WireSize disagrees with Marshal")
+	}
+}
+
+func TestWireFitsConfiguredPacketSize(t *testing.T) {
+	// A realistic data envelope must fit the 512-byte packets of the
+	// evaluation: header + encrypted fields + a voice-frame payload.
+	src := rng.New(2)
+	suite := crypt.NewFastSuite(src)
+	pub, _ := suite.GenerateKeyPair(1)
+	key := crypt.NewSymKey(src)
+	encKey, _ := suite.EncryptPub(pub, key[:])
+	encLZS, _ := suite.EncryptPub(pub, encodeRect(geo.Rect{Max: geo.Point{X: 1, Y: 1}}))
+	encTTL, _ := suite.EncryptPub(pub, encodeTTL(10))
+	env := sampleEnvelope()
+	env.EncSymKey = encKey
+	env.EncLZS = encLZS
+	env.EncTTL = encTTL
+	env.Payload = crypt.SymSeal(key, make([]byte, 160), src) // 20 ms voice frame
+	if w := WireSize(env); w > 512 {
+		t.Fatalf("wire size %d exceeds the 512-byte packet budget", w)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	env := sampleEnvelope()
+	wire := Marshal(env)
+	// Truncations at every prefix must error, never panic.
+	for n := 0; n < len(wire); n++ {
+		if _, err := Unmarshal(wire[:n]); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	// Trailing garbage rejected.
+	if _, err := Unmarshal(append(append([]byte{}, wire...), 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Bad kind.
+	bad := append([]byte{}, wire...)
+	bad[0] = 99
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Bad direction bit.
+	bad = append([]byte{}, wire...)
+	bad[1+20+20+32+16] = 7
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("invalid direction accepted")
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips arbitrary envelopes.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(kind uint8, ps, pd [20]byte, zx, zy uint16, tdx, tdy uint16,
+		dir bool, hdiv, hmax uint8, lzs, key, ttl, bm, payload []byte,
+		seq uint16) bool {
+		env := &Envelope{
+			Kind: Kind(kind % 3),
+			PS:   ps,
+			PD:   pd,
+			LZD: geo.NewRect(
+				geo.Point{X: float64(zx), Y: float64(zy)},
+				geo.Point{X: float64(zx) + 10, Y: float64(zy) + 10}),
+			TD:        geo.Point{X: float64(tdx), Y: float64(tdy)},
+			Hdiv:      int(hdiv),
+			Hmax:      int(hmax),
+			EncLZS:    lzs,
+			EncSymKey: key,
+			EncTTL:    ttl,
+			EncBitmap: bm,
+			Payload:   payload,
+			Seq:       int(seq),
+		}
+		if dir {
+			env.Dir = geo.Horizontal
+		}
+		got, err := Unmarshal(Marshal(env))
+		if err != nil {
+			return false
+		}
+		// Normalize nil/empty blob equivalence before DeepEqual.
+		norm := func(b []byte) []byte {
+			if len(b) == 0 {
+				return nil
+			}
+			return b
+		}
+		env.EncLZS, got.EncLZS = norm(env.EncLZS), norm(got.EncLZS)
+		env.EncSymKey, got.EncSymKey = norm(env.EncSymKey), norm(got.EncSymKey)
+		env.EncTTL, got.EncTTL = norm(env.EncTTL), norm(got.EncTTL)
+		env.EncBitmap, got.EncBitmap = norm(env.EncBitmap), norm(got.EncBitmap)
+		env.Payload, got.Payload = norm(env.Payload), norm(got.Payload)
+		return reflect.DeepEqual(env, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random byte strings never panic the decoder.
+func TestQuickUnmarshalRobust(t *testing.T) {
+	f := func(junk []byte) bool {
+		env, err := Unmarshal(junk)
+		// Either a clean error or a valid envelope — never a panic
+		// (the test harness catches panics as failures).
+		return err != nil || env != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatFidelity(t *testing.T) {
+	env := sampleEnvelope()
+	env.TD = geo.Point{X: math.Pi * 100, Y: math.Sqrt2 * 300}
+	got, err := Unmarshal(Marshal(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TD != env.TD {
+		t.Fatalf("float fidelity lost: %v vs %v", got.TD, env.TD)
+	}
+}
+
+// TestLiveEnvelopesFitWire marshals every envelope actually transmitted in
+// a run and asserts each fits the configured 512-byte packet and
+// round-trips through the codec.
+func TestLiveEnvelopesFitWire(t *testing.T) {
+	w := build(36, 200, 0, DefaultConfig())
+	s, d := w.farPair(500)
+	checked := 0
+	w.net.Med.TapSend(func(tx medium.Transmission) {
+		var env *Envelope
+		switch v := tx.Payload.(type) {
+		case *ZoneDelivery:
+			env = v.Env
+		case *gpsr.Packet:
+			if e, ok := v.Payload.(*Envelope); ok {
+				env = e
+			}
+		}
+		if env == nil {
+			return
+		}
+		checked++
+		wire := Marshal(env)
+		if len(wire) > 512 {
+			t.Errorf("on-air envelope %d bytes > 512", len(wire))
+		}
+		back, err := Unmarshal(wire)
+		if err != nil {
+			t.Errorf("unmarshal: %v", err)
+			return
+		}
+		if back.Seq != env.Seq || back.LZD != env.LZD || back.Kind != env.Kind {
+			t.Error("codec lost fields on a live envelope")
+		}
+	})
+	for i := 0; i < 5; i++ {
+		w.prot.Send(s, d, []byte("payload"))
+		w.eng.RunUntil(float64(i+1) * 5)
+	}
+	if checked == 0 {
+		t.Fatal("no envelopes observed")
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hammers the wire decoder with mutated packets: it must
+// never panic, and any packet it accepts must re-marshal to an equivalent
+// envelope (decode/encode/decode fixpoint).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Marshal(sampleEnvelope()))
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 120))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(Marshal(env))
+		if err != nil {
+			t.Fatalf("re-decode of accepted packet failed: %v", err)
+		}
+		if again.Kind != env.Kind || again.Seq != env.Seq ||
+			again.Hdiv != env.Hdiv || again.Hmax != env.Hmax ||
+			again.LZD != env.LZD || again.TD != env.TD ||
+			!bytes.Equal(again.Payload, env.Payload) {
+			t.Fatal("decode/encode/decode not a fixpoint")
+		}
+	})
+}

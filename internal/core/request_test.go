@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"alertmanet/internal/medium"
+)
+
+func TestRequestReplyRoundTrip(t *testing.T) {
+	w := build(30, 200, 0, DefaultConfig())
+	s, d := w.farPair(600)
+	w.prot.OnRequest = func(dst medium.NodeID, query []byte) []byte {
+		if dst != d {
+			t.Errorf("request handled at %v, want %v", dst, d)
+		}
+		return append([]byte("re: "), query...)
+	}
+	var reply []byte
+	var replyAt float64
+	rec := w.prot.Request(s, d, []byte("status?"), func(data []byte, at float64) {
+		reply = data
+		replyAt = at
+	})
+	w.eng.RunUntil(30)
+	if !rec.Delivered {
+		t.Skip("request undeliverable in this placement")
+	}
+	if reply == nil {
+		t.Fatal("no reply reached the source")
+	}
+	if !bytes.Equal(reply, []byte("re: status?")) {
+		t.Fatalf("reply = %q", reply)
+	}
+	if replyAt <= rec.DeliveredAt {
+		t.Fatal("reply arrived before the request was delivered")
+	}
+	if w.prot.Counters().Replies != 1 {
+		t.Fatalf("counters = %+v", w.prot.Counters())
+	}
+}
+
+func TestRequestReplyHopsAccumulate(t *testing.T) {
+	w := build(31, 200, 0, DefaultConfig())
+	s, d := w.farPair(600)
+	w.prot.OnRequest = func(_ medium.NodeID, q []byte) []byte { return q }
+	replied := false
+	rec := w.prot.Request(s, d, []byte("ping"), func([]byte, float64) { replied = true })
+	w.eng.RunUntil(30)
+	if !replied {
+		t.Skip("round trip failed in this placement")
+	}
+	// The record's hops must cover both directions: strictly more than a
+	// one-way trip would need for a 600 m pair.
+	if rec.Hops < 6 {
+		t.Fatalf("hops = %d; round trip across 600 m should exceed 6", rec.Hops)
+	}
+}
+
+func TestRequestWithoutHandlerDeliversOnly(t *testing.T) {
+	w := build(32, 200, 0, DefaultConfig())
+	s, d := w.farPair(500)
+	replied := false
+	rec := w.prot.Request(s, d, []byte("q"), func([]byte, float64) { replied = true })
+	w.eng.RunUntil(30)
+	if rec.Delivered && replied {
+		t.Fatal("reply delivered without an OnRequest handler")
+	}
+	if w.prot.Counters().Replies != 0 {
+		t.Fatal("reply counted without a handler")
+	}
+}
+
+func TestReplyIsEncryptedOnAir(t *testing.T) {
+	w := build(33, 200, 0, DefaultConfig())
+	s, d := w.farPair(500)
+	secret := []byte("coordinates: 42.1, 17.9 — eyes only")
+	w.prot.OnRequest = func(medium.NodeID, []byte) []byte { return secret }
+	var observed [][]byte
+	w.net.Med.TapSend(func(tx medium.Transmission) {
+		if zd, ok := tx.Payload.(*ZoneDelivery); ok && zd.Env.isReply {
+			observed = append(observed, zd.Env.Payload)
+		}
+	})
+	got := false
+	w.prot.Request(s, d, []byte("q"), func(data []byte, _ float64) {
+		got = bytes.Equal(data, secret)
+	})
+	w.eng.RunUntil(30)
+	if !got {
+		t.Skip("round trip failed in this placement")
+	}
+	if len(observed) == 0 {
+		t.Fatal("no reply observed on air")
+	}
+	for _, blob := range observed {
+		if bytes.Contains(blob, secret[:12]) {
+			t.Fatal("reply plaintext visible on air")
+		}
+	}
+}
+
+func TestReplyDedup(t *testing.T) {
+	w := build(34, 200, 0, DefaultConfig())
+	s, d := w.farPair(500)
+	w.prot.OnRequest = func(medium.NodeID, []byte) []byte { return []byte("r") }
+	replies := 0
+	w.prot.Request(s, d, []byte("q"), func([]byte, float64) { replies++ })
+	w.eng.RunUntil(30)
+	if replies > 1 {
+		t.Fatalf("reply delivered %d times", replies)
+	}
+}
+
+func TestMultipleRequestsSameSession(t *testing.T) {
+	w := build(35, 200, 0, DefaultConfig())
+	s, d := w.farPair(500)
+	w.prot.OnRequest = func(_ medium.NodeID, q []byte) []byte {
+		return append([]byte("ok:"), q...)
+	}
+	var replies [][]byte
+	for i := 0; i < 3; i++ {
+		q := []byte{byte('a' + i)}
+		w.prot.Request(s, d, q, func(data []byte, _ float64) {
+			replies = append(replies, data)
+		})
+		w.eng.RunUntil(float64(i+1) * 10)
+	}
+	if len(replies) < 2 {
+		t.Skipf("only %d replies landed; placement-dependent", len(replies))
+	}
+	seen := map[string]bool{}
+	for _, r := range replies {
+		seen[string(r)] = true
+	}
+	if len(seen) != len(replies) {
+		t.Fatalf("duplicate replies: %q", replies)
+	}
+}

@@ -1,0 +1,286 @@
+// ALERT's routing pipeline (Sections 2.3-2.6): session setup, notify-and-go,
+// the recursive partition loop between random forwarders, and the last-leg
+// destination-zone delivery with the intersection-attack guard.
+
+package core
+
+import (
+	"alertmanet/internal/crypt"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/gpsr"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/metrics"
+)
+
+// Send routes one application packet from src to dst and returns its
+// metrics record (finalized asynchronously as the simulation runs).
+func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+	now := p.net.Eng.Now()
+	rec := p.col.Start(src, dst, now)
+	p.counts.DataSent++
+
+	entry, ok := p.loc.Lookup(dst)
+	if !ok {
+		// Location service unavailable: packet cannot even start.
+		p.col.Complete(rec, 0, false)
+		return rec
+	}
+
+	sess := p.session(src, dst)
+	setupCharges := 0
+	if !sess.estCharge {
+		// Establish the session: draw K_s, encrypt it and the source
+		// zone under K_pub^D (two public-key operations, charged to
+		// the first packet).
+		sess.estCharge = true
+		sess.key = crypt.NewSymKey(p.rnd)
+		var err error
+		sess.encKey, err = p.net.Suite.EncryptPub(entry.Pub, sess.key[:])
+		if err != nil {
+			panic("core: session key encryption failed: " + err.Error())
+		}
+		sess.zs = geo.DestZone(p.field, p.net.Med.PositionNow(src), p.hDef, geo.Vertical)
+		sess.encLZS, err = p.net.Suite.EncryptPub(entry.Pub, encodeRect(sess.zs))
+		if err != nil {
+			panic("core: source zone encryption failed: " + err.Error())
+		}
+		p.net.NotePub(2) // the ops happen regardless of latency billing
+		if p.cfg.ChargeSessionSetup {
+			setupCharges = 2
+		}
+	}
+	p.net.NoteSym(1) // per-packet payload seal
+
+	zd := geo.DestZone(p.field, entry.Pos, p.hDef, geo.Vertical)
+	env := &Envelope{
+		Kind:      KindData,
+		PS:        p.net.Node(src).Pseudonym,
+		PD:        entry.Pseudonym,
+		LZD:       zd,
+		EncLZS:    sess.encLZS,
+		Dir:       p.randomDir(),
+		Hdiv:      0,
+		Hmax:      p.hDef,
+		Zone:      p.field,
+		DPub:      entry.Pub,
+		EncSymKey: sess.encKey,
+		Payload:   crypt.SymSeal(sess.key, data, p.rnd),
+		Seq:       sess.nextSeq,
+	}
+	sess.nextSeq++
+
+	f := &flight{env: env, rec: rec, src: src, dst: dst, data: data}
+	env.flight = f
+	sess.flights[env.Seq] = f
+
+	if p.cfg.CompleteTimeout > 0 {
+		f.timeoutID = p.net.Eng.Schedule(p.cfg.CompleteTimeout, func() {
+			f.hasTimeout = false
+			p.complete(f, 0, false)
+		})
+		f.hasTimeout = true
+	}
+
+	// Charge source-side cryptography: one symmetric seal per packet,
+	// plus the session's two public-key operations on its first packet.
+	delay := p.net.Costs.SymEncrypt + float64(setupCharges)*p.net.Costs.PubEncrypt
+
+	launch := func() {
+		if p.cfg.Confirm {
+			p.armRetry(f)
+		}
+		p.route(src, env)
+	}
+
+	if p.cfg.NotifyAndGo {
+		p.notifyAndGo(src, delay, launch)
+	} else {
+		p.net.Eng.Schedule(delay, launch)
+	}
+	return rec
+}
+
+func (p *Protocol) randomDir() geo.Direction {
+	if p.rnd.Bernoulli(0.5) {
+		return geo.Horizontal
+	}
+	return geo.Vertical
+}
+
+// notifyAndGo implements Section 2.6: the source notifies its neighbors
+// (piggybacked on hello beacons), then the source and every neighbor wait a
+// random time in [t, t+t0]; neighbors emit covering packets with no valid
+// TTL while the source emits the real packet, hiding it among eta+1
+// transmissions.
+func (p *Protocol) notifyAndGo(src medium.NodeID, extraDelay float64, launch func()) {
+	t, t0 := p.cfg.NotifyT, p.cfg.NotifyT0
+	for _, nb := range p.net.Med.Neighbors(src) {
+		nb := nb
+		wait := p.rnd.Uniform(t, t+t0)
+		p.net.Eng.Schedule(wait, func() {
+			junk := make([]byte, p.cfg.CoverSize)
+			p.rnd.Read(junk)
+			p.counts.CoversSent++
+			p.net.Med.Broadcast(nb.ID, &coverPacket{Junk: junk}, p.cfg.CoverSize)
+		})
+	}
+	wait := p.rnd.Uniform(t, t+t0)
+	p.net.Eng.Schedule(extraDelay+wait, launch)
+}
+
+// route executes one forwarder's step at node `at` (Section 2.3): if the
+// holder is in (or cannot be separated from) Z_D, start zone delivery;
+// otherwise partition until separated, pick a random TD in the half holding
+// Z_D, and ride GPSR to the node closest to the TD — the next RF.
+func (p *Protocol) route(at medium.NodeID, env *Envelope) {
+	pos := p.net.Med.PositionNow(at)
+	if env.LZD.Contains(pos) || env.finalLeg {
+		p.zoneDeliver(at, env)
+		return
+	}
+	zone := env.Zone
+	if !zone.Contains(pos) {
+		// GPSR overshoot: the closest node to the TD sat outside the
+		// aimed zone. Re-derive the partition from the whole field.
+		zone = p.field
+	}
+	res := geo.SeparateWithPolicy(zone, pos, env.LZD, env.Dir,
+		env.Hmax-env.Hdiv, !p.cfg.FixedAxisPartition)
+	if !res.Separated {
+		// All H divisions are spent (or the zone cannot shrink
+		// further) but the holder is still outside Z_D: ride one
+		// final leg to a random position inside Z_D, whose closest
+		// node performs the zone broadcast.
+		env.finalLeg = true
+		env.TD = geo.RandomPoint(env.LZD, p.rnd)
+	} else {
+		env.Zone = res.OtherZone
+		env.Hdiv += res.Cuts
+		env.Dir = res.NextDir // the direction bit each RF flips (Section 2.5)
+		env.TD = geo.RandomPoint(res.OtherZone, p.rnd)
+	}
+
+	// When notify-and-go is active, the source encrypts the TTL to its
+	// first relay so covering packets (TTL-less) are indistinguishable
+	// from the real one (Section 2.6); only the first leg needs this —
+	// forwarders beyond the source's neighborhood have no covers to
+	// blend with. Without cover traffic a plain TTL suffices. Two
+	// public-key operations: the source's encryption and the relay's
+	// decryption.
+	if p.cfg.NotifyAndGo && env.EncTTL == nil {
+		if next, ok := p.router.NextGreedy(at, env.TD); ok {
+			ct, err := p.net.Suite.EncryptPub(p.net.Node(next).Pub, encodeTTL(p.cfg.LegHopBudget))
+			if err == nil {
+				env.EncTTL = ct
+				p.net.NotePub(2)
+			}
+		}
+	}
+
+	pkt := &gpsr.Packet{
+		Dest:      env.TD,
+		DeliverTo: gpsr.NoDeliverTo,
+		Payload:   env,
+		Size:      p.cfg.PacketSize,
+		HopBudget: p.cfg.LegHopBudget,
+		OnOutcome: func(rf medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
+			f := env.flight
+			if f != nil {
+				f.rec.Hops += gp.Hops
+				f.rec.Path = append(f.rec.Path, gp.Path...)
+			} else if env.isReply {
+				replyHopsInto(env, gp.Hops)
+			}
+			switch out {
+			case gpsr.ArrivedClosest:
+				if f != nil && rf != at {
+					f.rec.RFs++
+				}
+				p.route(rf, env)
+			default:
+				p.counts.LegDrops++
+				p.failLeg(env)
+			}
+		},
+	}
+	p.router.Send(at, pkt)
+}
+
+// failLeg handles a dropped GPSR leg: without any recovery mechanism the
+// packet is simply lost and recorded; with confirmations the retry timer
+// will resend, and with NAKs the destination may report the gap — either
+// way the flight stays open until recovery or the completion timeout.
+func (p *Protocol) failLeg(env *Envelope) {
+	f := env.flight
+	if f == nil {
+		return // ack/NAK envelope: silently lost
+	}
+	if !p.cfg.Confirm && !p.cfg.NAKs {
+		p.complete(f, 0, false)
+	}
+}
+
+// complete finalizes a flight exactly once and retires its bookkeeping:
+// once a packet is settled (and cannot be NAK-resent), the session forgets
+// it, so long sessions hold state proportional to the in-flight window
+// rather than to their lifetime.
+func (p *Protocol) complete(f *flight, at float64, delivered bool) {
+	if f == nil || f.completed {
+		return
+	}
+	f.completed = true
+	if f.hasTimeout {
+		p.net.Eng.Cancel(f.timeoutID)
+		f.hasTimeout = false
+	}
+	if f.hasRetry {
+		p.net.Eng.Cancel(f.retryID)
+		f.hasRetry = false
+	}
+	p.col.Complete(f.rec, at, delivered)
+	if !p.cfg.NAKs || delivered {
+		// NAK recovery can still resurrect an undelivered flight; keep
+		// those until the destination reports past them.
+		sess := p.session(f.src, f.dst)
+		delete(sess.flights, f.env.Seq)
+	}
+}
+
+// armRetry schedules a retransmission if no confirmation arrives in time.
+func (p *Protocol) armRetry(f *flight) {
+	if f.hasRetry {
+		p.net.Eng.Cancel(f.retryID)
+	}
+	f.retryID = p.net.Eng.Schedule(p.cfg.ConfirmTimeout, func() {
+		f.hasRetry = false
+		if f.acked || f.completed {
+			return
+		}
+		if f.retries >= p.cfg.MaxRetries {
+			p.complete(f, 0, f.delivered)
+			return
+		}
+		f.retries++
+		p.counts.Resends++
+		p.resend(f)
+	})
+	f.hasRetry = true
+}
+
+// resend relaunches a flight's envelope from the source with a fresh
+// partition state (the new route will differ — ALERT's nonfixed paths).
+func (p *Protocol) resend(f *flight) {
+	env := f.env
+	env.Hdiv = 0
+	env.Zone = p.field
+	env.Dir = p.randomDir()
+	env.finalLeg = false
+	// Refresh Z_D from the location service (positions may have moved).
+	if entry, ok := p.loc.Lookup(f.dst); ok {
+		env.LZD = geo.DestZone(p.field, entry.Pos, p.hDef, geo.Vertical)
+		env.PD = entry.Pseudonym
+	}
+	p.armRetry(f)
+	p.net.NoteSym(1)
+	p.net.Eng.Schedule(p.net.Costs.SymEncrypt, func() { p.route(f.src, env) })
+}

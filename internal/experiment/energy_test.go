@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEnergyOrdering verifies the paper's summary claim: ALERT "has
+// significantly lower energy consumption compared to AO2P and ALARM"
+// (hop-by-hop public-key work dominates their budgets), while paying an
+// anonymity premium over plain GPSR.
+func TestEnergyOrdering(t *testing.T) {
+	energy := map[ProtocolName]float64{}
+	for _, p := range []ProtocolName{ALERT, GPSR, ALARM, AO2P} {
+		sc := DefaultScenario()
+		sc.Protocol = p
+		sc.Duration = 40
+		r := Run(sc)
+		if r.EnergyJoules <= 0 || math.IsInf(r.EnergyPerDelivered, 1) {
+			t.Fatalf("%s: no energy accounted", p)
+		}
+		energy[p] = r.EnergyPerDelivered
+	}
+	if energy[ALERT] >= energy[ALARM]/2 {
+		t.Fatalf("ALERT (%v J) should be significantly below ALARM (%v J)",
+			energy[ALERT], energy[ALARM])
+	}
+	if energy[ALERT] >= energy[AO2P]/2 {
+		t.Fatalf("ALERT (%v J) should be significantly below AO2P (%v J)",
+			energy[ALERT], energy[AO2P])
+	}
+	if energy[GPSR] >= energy[ALERT] {
+		t.Fatalf("GPSR (%v J) should be below ALERT (%v J) — anonymity costs something",
+			energy[GPSR], energy[ALERT])
+	}
+}
+
+// TestEnergyScalesWithCryptoOps: enabling notify-and-go (per-packet TTL
+// encryption plus cover traffic) must raise ALERT's energy.
+func TestEnergyScalesWithCryptoOps(t *testing.T) {
+	base := DefaultScenario()
+	base.Duration = 30
+	plain := Run(base)
+	base.Alert.NotifyAndGo = true
+	covered := Run(base)
+	if covered.EnergyJoules <= plain.EnergyJoules {
+		t.Fatalf("notify-and-go energy (%v) should exceed plain (%v)",
+			covered.EnergyJoules, plain.EnergyJoules)
+	}
+}
+
+// TestEnergyUndelivered: a run that delivers nothing reports +Inf per
+// delivered packet rather than dividing by zero.
+func TestEnergyUndelivered(t *testing.T) {
+	sc := DefaultScenario()
+	sc.N = 4 // hopelessly sparse
+	sc.Pairs = 1
+	sc.Duration = 10
+	r := Run(sc)
+	if r.DeliveryRate == 0 && !math.IsInf(r.EnergyPerDelivered, 1) {
+		t.Fatalf("undelivered run: EnergyPerDelivered = %v", r.EnergyPerDelivered)
+	}
+}

@@ -1,0 +1,588 @@
+// Package experiment is the evaluation harness: it assembles a simulated
+// MANET (Section 5.2's parameters are the defaults), drives the CBR
+// workload over randomly chosen S-D pairs, runs one of the four protocols
+// (ALERT, GPSR, ALARM, AO2P), and aggregates the paper's metrics over
+// independent seeded runs with 95% confidence intervals.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"alertmanet/internal/alarm"
+	"alertmanet/internal/ao2p"
+	"alertmanet/internal/core"
+	"alertmanet/internal/crypt"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/gpsr"
+	"alertmanet/internal/locservice"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/metrics"
+	"alertmanet/internal/mobility"
+	"alertmanet/internal/node"
+	"alertmanet/internal/rng"
+	"alertmanet/internal/sim"
+	"alertmanet/internal/stats"
+	"alertmanet/internal/zap"
+)
+
+// ProtocolName selects the routing protocol under test.
+type ProtocolName string
+
+// The four protocols of the evaluation.
+const (
+	ALERT ProtocolName = "alert"
+	GPSR  ProtocolName = "gpsr"
+	ALARM ProtocolName = "alarm"
+	AO2P  ProtocolName = "ao2p"
+	// ZAP is an additional baseline beyond the paper's comparison set:
+	// destination cloaking with zone flooding [13], used by the
+	// Section 3.3 trade-off experiment.
+	ZAP ProtocolName = "zap"
+)
+
+// WorkloadName selects the traffic model.
+type WorkloadName string
+
+// Traffic models: the paper's constant-bit-rate stream, a Poisson process
+// with the same mean rate, and an on/off burst source (multimedia frames
+// arrive in talkspurts, not on a metronome).
+const (
+	CBR     WorkloadName = "cbr"
+	Poisson WorkloadName = "poisson"
+	Burst   WorkloadName = "burst"
+)
+
+// MobilityName selects the movement model (Section 5.1).
+type MobilityName string
+
+// Movement models.
+const (
+	RandomWaypoint MobilityName = "rwp"
+	GroupMobility  MobilityName = "group"
+	Static         MobilityName = "static"
+	// NS2Trace replays a recorded NS-2 setdest movement script
+	// (Scenario.NS2TracePath).
+	NS2Trace MobilityName = "ns2"
+)
+
+// Scenario is one simulation configuration. DefaultScenario gives the
+// paper's Section 5.2 settings.
+type Scenario struct {
+	Seed     int64
+	Protocol ProtocolName
+
+	N     int
+	Field geo.Rect
+	Speed float64
+
+	Mobility   MobilityName
+	Groups     int
+	GroupRange float64
+	// NS2TracePath, when set with Mobility == NS2Trace, replays an NS-2
+	// setdest movement script instead of a synthetic model.
+	NS2TracePath string
+
+	Duration float64 // seconds of simulated time
+	Pairs    int     // concurrent S-D pairs
+	Interval float64 // seconds between packets of one pair
+	Packets  int     // if > 0, cap packets per pair
+	// Workload selects the traffic model; CBR is the paper's.
+	Workload WorkloadName
+
+	PacketSize    int
+	LossRate      float64
+	HelloInterval float64
+
+	LocUpdates  bool
+	LocInterval float64
+
+	Alert core.Config
+	Ao2p  ao2p.Config
+	Alarm alarm.Config
+	Gpsr  gpsr.AppConfig
+	Zap   zap.Config
+
+	Costs crypt.CostModel
+}
+
+// DefaultScenario returns the paper's evaluation defaults: 1,000 m square
+// field, 200 nodes at 2 m/s random waypoint, 10 S-D pairs sending a 512 B
+// packet every 2 s for 100 s, destination updates on.
+func DefaultScenario() Scenario {
+	alertCfg := core.DefaultConfig()
+	// The paper's latency metric charges per-packet symmetric crypto
+	// only; session key establishment lives in the untimed handshake.
+	alertCfg.ChargeSessionSetup = false
+	return Scenario{
+		Seed:          1,
+		Protocol:      ALERT,
+		N:             200,
+		Field:         geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}},
+		Speed:         2,
+		Mobility:      RandomWaypoint,
+		Groups:        10,
+		GroupRange:    150,
+		Duration:      100,
+		Pairs:         10,
+		Interval:      2,
+		PacketSize:    512,
+		LossRate:      0,
+		HelloInterval: 1,
+		LocUpdates:    true,
+		LocInterval:   2,
+		Alert:         alertCfg,
+		Ao2p:          ao2p.DefaultConfig(),
+		Alarm:         alarm.DefaultConfig(),
+		Gpsr:          gpsr.DefaultAppConfig(),
+		Zap:           zap.DefaultConfig(),
+		Costs:         crypt.DefaultCostModel(),
+	}
+}
+
+// Proto is the common protocol surface the harness drives.
+type Proto interface {
+	Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord
+	Collector() *metrics.Collector
+}
+
+// World is one fully assembled simulation.
+type World struct {
+	Scenario Scenario
+	Eng      *sim.Engine
+	Mob      mobility.Model
+	Med      *medium.Medium
+	Net      *node.Network
+	Loc      *locservice.Service
+	Proto    Proto
+	// Alert is non-nil when Scenario.Protocol == ALERT.
+	Alert *core.Protocol
+	// Rand is the workload random stream.
+	Rand *rng.Source
+}
+
+// Build assembles a World from a scenario without starting any traffic.
+func Build(sc Scenario) *World {
+	src := rng.New(sc.Seed)
+	eng := sim.NewEngine()
+
+	var mob mobility.Model
+	switch sc.Mobility {
+	case NS2Trace:
+		f, err := os.Open(sc.NS2TracePath)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: open NS-2 trace: %v", err))
+		}
+		tm, err := mobility.ParseNS2(f, sc.Field)
+		f.Close()
+		if err != nil {
+			panic(fmt.Sprintf("experiment: parse NS-2 trace: %v", err))
+		}
+		mob = tm
+		sc.N = tm.N()
+	case Static:
+		mob = mobility.NewStatic(sc.Field, sc.N, src)
+	case GroupMobility:
+		mob = mobility.NewGroupMobility(sc.Field, sc.N, sc.Groups, sc.GroupRange,
+			mobility.Fixed(sc.Speed), src)
+	case RandomWaypoint:
+		mob = mobility.NewRandomWaypoint(sc.Field, sc.N, mobility.Fixed(sc.Speed), src)
+	default:
+		panic(fmt.Sprintf("experiment: unknown mobility %q", sc.Mobility))
+	}
+
+	par := medium.DefaultParams()
+	par.LossRate = sc.LossRate
+	if sc.HelloInterval > 0 {
+		par.HelloInterval = sc.HelloInterval
+	}
+	med := medium.New(eng, mob, par, src)
+	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), sc.Costs,
+		node.DefaultConfig(), src)
+	loc := locservice.New(net, locservice.Config{
+		UpdateInterval: sc.LocInterval,
+		UpdatesEnabled: sc.LocUpdates,
+	})
+
+	w := &World{
+		Scenario: sc, Eng: eng, Mob: mob, Med: med, Net: net, Loc: loc,
+		Rand: src.Split("workload"),
+	}
+	switch sc.Protocol {
+	case ALERT:
+		cfg := sc.Alert
+		cfg.PacketSize = sc.PacketSize
+		p := core.New(net, loc, cfg, src)
+		w.Alert = p
+		w.Proto = p
+	case GPSR:
+		cfg := sc.Gpsr
+		cfg.PacketSize = sc.PacketSize
+		w.Proto = gpsr.NewApp(net, loc, cfg)
+	case ALARM:
+		cfg := sc.Alarm
+		cfg.PacketSize = sc.PacketSize
+		w.Proto = alarm.New(net, loc, cfg)
+	case AO2P:
+		cfg := sc.Ao2p
+		cfg.PacketSize = sc.PacketSize
+		w.Proto = ao2p.New(net, loc, cfg, src)
+	case ZAP:
+		cfg := sc.Zap
+		cfg.PacketSize = sc.PacketSize
+		w.Proto = zap.New(net, loc, cfg, src)
+	default:
+		panic(fmt.Sprintf("experiment: unknown protocol %q", sc.Protocol))
+	}
+	return w
+}
+
+// Pair is one S-D communication pair.
+type Pair struct {
+	S, D medium.NodeID
+}
+
+// ChoosePairs draws the scenario's random S-D pairs.
+func (w *World) ChoosePairs() []Pair {
+	pairs := make([]Pair, 0, w.Scenario.Pairs)
+	for len(pairs) < w.Scenario.Pairs {
+		s := medium.NodeID(w.Rand.Intn(w.Scenario.N))
+		d := medium.NodeID(w.Rand.Intn(w.Scenario.N))
+		if s != d {
+			pairs = append(pairs, Pair{S: s, D: d})
+		}
+	}
+	return pairs
+}
+
+// StartWorkload schedules the scenario's traffic model for each pair until
+// Duration (or Packets per pair): CBR sends every Interval seconds; Poisson
+// draws exponential gaps with mean Interval; Burst alternates exponential
+// on-periods (packets every Interval/4) with exponential off-periods,
+// keeping the same long-run mean rate.
+func (w *World) StartWorkload(pairs []Pair) {
+	payload := make([]byte, 64)
+	w.Rand.Read(payload)
+	for i, pr := range pairs {
+		pr := pr
+		src := w.Rand.SplitIndex("pair", i)
+		switch w.Scenario.Workload {
+		case Poisson:
+			w.startPoisson(pr, payload, src)
+		case Burst:
+			w.startBurst(pr, payload, src)
+		default:
+			w.startCBR(pr, payload, src)
+		}
+	}
+}
+
+func (w *World) startCBR(pr Pair, payload []byte, src *rng.Source) {
+	offset := src.Uniform(0, w.Scenario.Interval/2)
+	sent := 0
+	var stop func()
+	stop = w.Eng.Ticker(offset, w.Scenario.Interval, func(sim.Time) {
+		if w.Scenario.Packets > 0 && sent >= w.Scenario.Packets {
+			stop()
+			return
+		}
+		sent++
+		w.Proto.Send(pr.S, pr.D, payload)
+	})
+}
+
+func (w *World) startPoisson(pr Pair, payload []byte, src *rng.Source) {
+	sent := 0
+	var next func()
+	next = func() {
+		if w.Eng.Now() >= w.Scenario.Duration {
+			return
+		}
+		if w.Scenario.Packets > 0 && sent >= w.Scenario.Packets {
+			return
+		}
+		sent++
+		w.Proto.Send(pr.S, pr.D, payload)
+		w.Eng.Schedule(src.Exponential(w.Scenario.Interval), next)
+	}
+	w.Eng.Schedule(src.Exponential(w.Scenario.Interval), next)
+}
+
+func (w *World) startBurst(pr Pair, payload []byte, src *rng.Source) {
+	// Mean on = mean off, so packets at Interval/4 within bursts halve to
+	// a long-run rate of one per Interval/2... we scale the on-rate so the
+	// long-run mean matches CBR: on fraction 1/2 at Interval/2 spacing.
+	const meanBurst = 4.0 // seconds of talkspurt
+	sent := 0
+	var onPhase, offPhase func()
+	onPhase = func() {
+		if w.Eng.Now() >= w.Scenario.Duration {
+			return
+		}
+		end := w.Eng.Now() + src.Exponential(meanBurst)
+		var tick func()
+		tick = func() {
+			if w.Eng.Now() >= w.Scenario.Duration ||
+				(w.Scenario.Packets > 0 && sent >= w.Scenario.Packets) {
+				return
+			}
+			if w.Eng.Now() >= end {
+				offPhase()
+				return
+			}
+			sent++
+			w.Proto.Send(pr.S, pr.D, payload)
+			w.Eng.Schedule(w.Scenario.Interval/2, tick)
+		}
+		tick()
+	}
+	offPhase = func() {
+		if w.Eng.Now() >= w.Scenario.Duration {
+			return
+		}
+		w.Eng.Schedule(src.Exponential(meanBurst), onPhase)
+	}
+	w.Eng.Schedule(src.Uniform(0, w.Scenario.Interval), onPhase)
+}
+
+// EnergyModel converts counted work (radio bytes and cryptographic
+// operations) into joules. The defaults take WaveLAN-class radio costs and
+// the paper's reference [26] ratio — a public-key operation costs hundreds
+// of times a symmetric one.
+type EnergyModel struct {
+	TxPerByte float64 // J per transmitted byte
+	RxPerByte float64 // J per received byte
+	SymOp     float64 // J per symmetric encryption/decryption
+	PubOp     float64 // J per public-key operation
+}
+
+// DefaultEnergyModel returns the calibration used by the energy figures:
+// transmission plus computation energy. Reception/overhearing is excluded
+// (RxPerByte = 0), the common convention in MANET protocol energy analyses
+// — in a broadcast medium every node in range decodes every frame
+// regardless of protocol, so reception costs are workload-independent
+// background; set RxPerByte to study them.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		TxPerByte: 1.0e-6,
+		RxPerByte: 0,
+		SymOp:     50e-6,
+		PubOp:     15e-3, // 300x symmetric, within [26]'s "hundreds of times"
+	}
+}
+
+// Result holds one run's metrics.
+type Result struct {
+	Sent          int
+	DeliveryRate  float64
+	MeanLatency   float64
+	HopsPerPacket float64
+	MeanRFs       float64
+	Participants  int
+	Cumulative    []int
+	RouteJaccard  float64
+	// EnergyJoules is the run's total radio + crypto energy;
+	// EnergyPerDelivered divides it by delivered packets (Inf if none).
+	EnergyJoules       float64
+	EnergyPerDelivered float64
+	// LatencyP50/P95/P99 are end-to-end delay percentiles over delivered
+	// packets, and Jitter is the standard deviation of delay — the
+	// quantities a multimedia stream actually experiences (the paper's
+	// Section 1 motivation).
+	LatencyP50 float64
+	LatencyP95 float64
+	LatencyP99 float64
+	Jitter     float64
+	// LoadGini is the Gini coefficient of per-node transmission counts:
+	// 0 means perfectly even relay load, 1 means one node carries
+	// everything. ALERT's random forwarders spread the battery drain that
+	// shortest-path routing concentrates on a few relays.
+	LoadGini float64
+}
+
+// Run builds the world, drives the workload, and collects metrics.
+func Run(sc Scenario) Result {
+	w := Build(sc)
+	pairs := w.ChoosePairs()
+	w.StartWorkload(pairs)
+	// Let in-flight packets finish after the last send.
+	w.Eng.RunUntil(sc.Duration + 10)
+	return w.Collect(pairs)
+}
+
+// Collect summarizes the collector into a Result.
+func (w *World) Collect(pairs []Pair) Result {
+	col := w.Proto.Collector()
+	res := Result{
+		Sent:          col.Sent(),
+		DeliveryRate:  col.DeliveryRate(),
+		MeanLatency:   col.MeanLatency(),
+		HopsPerPacket: col.HopsPerPacket(),
+		MeanRFs:       col.MeanRFs(),
+		Participants:  col.Participants(),
+		Cumulative:    col.CumulativeParticipants(),
+	}
+	res.RouteJaccard = routeJaccard(col, pairs)
+	var lat stats.Sample
+	for _, r := range col.Records() {
+		if r.Delivered {
+			lat.Add(r.Latency())
+		}
+	}
+	res.LatencyP50 = lat.Quantile(0.50)
+	res.LatencyP95 = lat.Quantile(0.95)
+	res.LatencyP99 = lat.Quantile(0.99)
+	res.Jitter = lat.StdDev()
+	em := DefaultEnergyModel()
+	mc := w.Med.Counters()
+	res.EnergyJoules = float64(mc.TxBytes)*em.TxPerByte +
+		float64(mc.RxBytes)*em.RxPerByte +
+		float64(w.Net.Ops.Sym)*em.SymOp +
+		float64(w.Net.Ops.Pub)*em.PubOp
+	delivered := float64(res.Sent) * res.DeliveryRate
+	if delivered > 0 {
+		res.EnergyPerDelivered = res.EnergyJoules / delivered
+	} else {
+		res.EnergyPerDelivered = math.Inf(1)
+	}
+	res.LoadGini = gini(w.Med.TxByNode())
+	return res
+}
+
+// gini computes the Gini coefficient of non-negative counts.
+func gini(counts []uint64) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	total := 0.0
+	for i, c := range counts {
+		sorted[i] = float64(c)
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	// G = (2*sum(i*x_i) / (n*sum(x))) - (n+1)/n with 1-based i.
+	weighted := 0.0
+	for i, x := range sorted {
+		weighted += float64(i+1) * x
+	}
+	return 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// routeJaccard averages consecutive-packet relay-set similarity per pair.
+func routeJaccard(col *metrics.Collector, pairs []Pair) float64 {
+	byPair := map[Pair][][]medium.NodeID{}
+	for _, r := range col.Records() {
+		if !r.Delivered {
+			continue
+		}
+		p := Pair{S: r.Src, D: r.Dst}
+		byPair[p] = append(byPair[p], r.Path)
+	}
+	total, n := 0.0, 0
+	for _, routes := range byPair {
+		for i := 1; i < len(routes); i++ {
+			total += jaccardIDs(routes[i-1], routes[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+func jaccardIDs(a, b []medium.NodeID) float64 {
+	sa := map[medium.NodeID]struct{}{}
+	for _, id := range a {
+		sa[id] = struct{}{}
+	}
+	sb := map[medium.NodeID]struct{}{}
+	for _, id := range b {
+		sb[id] = struct{}{}
+	}
+	inter := 0
+	for id := range sa {
+		if _, ok := sb[id]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Aggregate summarizes a metric over independent runs.
+type Aggregate struct {
+	DeliveryRate  stats.Summary
+	MeanLatency   stats.Summary
+	HopsPerPacket stats.Summary
+	MeanRFs       stats.Summary
+	Participants  stats.Summary
+	RouteJaccard  stats.Summary
+}
+
+// RunParallel executes the scenario under seeds different seeds (1..seeds)
+// concurrently — every run owns its engine, random streams and world, so
+// they are fully independent — and returns the results in seed order, which
+// keeps all downstream aggregation deterministic.
+func RunParallel(sc Scenario, seeds int) []Result {
+	results := make([]Result, seeds)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > seeds {
+		workers = seeds
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run := sc
+				run.Seed = int64(i + 1)
+				results[i] = Run(run)
+			}
+		}()
+	}
+	for i := 0; i < seeds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// RunSeeds runs the scenario under `seeds` different seeds (the paper uses
+// 30) and aggregates with 95% confidence intervals.
+func RunSeeds(sc Scenario, seeds int) Aggregate {
+	results := RunParallel(sc, seeds)
+
+	var del, lat, hops, rfs, parts, jac stats.Sample
+	for _, r := range results {
+		del.Add(r.DeliveryRate)
+		lat.Add(r.MeanLatency)
+		hops.Add(r.HopsPerPacket)
+		rfs.Add(r.MeanRFs)
+		parts.Add(float64(r.Participants))
+		jac.Add(r.RouteJaccard)
+	}
+	return Aggregate{
+		DeliveryRate:  del.Summarize(),
+		MeanLatency:   lat.Summarize(),
+		HopsPerPacket: hops.Summarize(),
+		MeanRFs:       rfs.Summarize(),
+		Participants:  parts.Summarize(),
+		RouteJaccard:  jac.Summarize(),
+	}
+}

@@ -1,0 +1,475 @@
+// Figure generators: one function per evaluation figure (Figs. 10-17) plus
+// the remaining-node mobility experiments. Each returns labeled series in
+// the same shape the paper plots, so cmd/figures can print them and
+// EXPERIMENTS.md can compare paper-vs-measured.
+
+package experiment
+
+import (
+	"fmt"
+
+	"alertmanet/internal/analysis"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/mobility"
+	"alertmanet/internal/rng"
+	"alertmanet/internal/stats"
+)
+
+// protosAll is the comparison set of Section 5.
+var protosAll = []ProtocolName{ALERT, GPSR, ALARM, AO2P}
+
+// Fig10a reproduces Fig. 10a: cumulative actual participating nodes versus
+// packets transmitted, for ALERT and GPSR at 100 and 200 nodes (ALARM and
+// AO2P follow GPSR's shortest-path behaviour, as the paper notes). One S-D
+// pair sends `packets` packets; curves are averaged over seeds.
+func Fig10a(packets, seeds int) []analysis.Series {
+	var out []analysis.Series
+	for _, n := range []int{100, 200} {
+		for _, p := range []ProtocolName{ALERT, GPSR} {
+			sums := make([]float64, packets)
+			counts := make([]int, packets)
+			for seed := 1; seed <= seeds; seed++ {
+				sc := DefaultScenario()
+				sc.Seed = int64(seed)
+				sc.Protocol = p
+				sc.N = n
+				sc.Pairs = 1
+				sc.Packets = packets
+				sc.Interval = 0.5 // keep path churn low over the burst
+				sc.Duration = float64(packets)*sc.Interval + 5
+				r := Run(sc)
+				for i := 0; i < packets && i < len(r.Cumulative); i++ {
+					sums[i] += float64(r.Cumulative[i])
+					counts[i]++
+				}
+			}
+			s := analysis.Series{Label: fmt.Sprintf("%s N=%d", p, n)}
+			for i := 0; i < packets; i++ {
+				s.X = append(s.X, float64(i+1))
+				if counts[i] > 0 {
+					s.Y = append(s.Y, sums[i]/float64(counts[i]))
+				} else {
+					s.Y = append(s.Y, 0)
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig10b reproduces Fig. 10b: actual participating nodes after `packets`
+// packets, versus the total number of nodes, ALERT versus GPSR.
+func Fig10b(packets, seeds int) []analysis.Series {
+	ns := []int{50, 100, 150, 200}
+	var out []analysis.Series
+	for _, p := range []ProtocolName{ALERT, GPSR} {
+		s := analysis.Series{Label: string(p)}
+		for _, n := range ns {
+			var sample stats.Sample
+			for seed := 1; seed <= seeds; seed++ {
+				sc := DefaultScenario()
+				sc.Seed = int64(seed)
+				sc.Protocol = p
+				sc.N = n
+				sc.Pairs = 1
+				sc.Packets = packets
+				sc.Interval = 0.5
+				sc.Duration = float64(packets)*sc.Interval + 5
+				sample.Add(float64(Run(sc).Participants))
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, sample.Mean())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig11 reproduces Fig. 11: the simulated number of random forwarders
+// versus the number of partitions H (to compare with the analytical
+// Fig. 7b line).
+func Fig11(hMax, seeds int) analysis.Series {
+	s := analysis.Series{Label: "ALERT mean RFs"}
+	for h := 1; h <= hMax; h++ {
+		var sample stats.Sample
+		for seed := 1; seed <= seeds; seed++ {
+			sc := DefaultScenario()
+			sc.Seed = int64(seed)
+			sc.Protocol = ALERT
+			sc.Alert.H = h
+			sc.Duration = 40
+			sample.Add(Run(sc).MeanRFs)
+		}
+		s.X = append(s.X, float64(h))
+		s.Y = append(s.Y, sample.Mean())
+	}
+	return s
+}
+
+// RemainingNodesSim measures, by pure mobility simulation, how many of the
+// nodes initially inside a destination zone are still inside after each
+// sample time — the simulated counterpart of Equation (15). Zones are
+// centered on `dests` random node positions per seed.
+func RemainingNodesSim(n, h int, speed float64, mob MobilityName,
+	times []float64, dests, seeds int) []float64 {
+	sc := DefaultScenario()
+	sums := make([]float64, len(times))
+	count := 0
+	for seed := 1; seed <= seeds; seed++ {
+		src := rng.New(int64(seed))
+		var m mobility.Model
+		switch mob {
+		case GroupMobility:
+			m = mobility.NewGroupMobility(sc.Field, n, sc.Groups, sc.GroupRange,
+				mobility.Fixed(speed), src)
+		default:
+			m = mobility.NewRandomWaypoint(sc.Field, n, mobility.Fixed(speed), src)
+		}
+		pick := src.Split("dests")
+		for di := 0; di < dests; di++ {
+			d := pick.Intn(n)
+			zone := geo.DestZone(sc.Field, m.Position(d, 0), h, geo.Vertical)
+			initial := mobility.NodesIn(m, zone, 0)
+			if len(initial) == 0 {
+				continue
+			}
+			count++
+			for ti, t := range times {
+				remain := 0
+				for _, id := range initial {
+					if zone.Contains(m.Position(id, t)) {
+						remain++
+					}
+				}
+				sums[ti] += float64(remain)
+			}
+		}
+	}
+	out := make([]float64, len(times))
+	if count == 0 {
+		return out
+	}
+	for i := range sums {
+		out[i] = sums[i] / float64(count)
+	}
+	return out
+}
+
+// Fig12 reproduces Fig. 12: remaining nodes in the destination zone over
+// time for densities 100, 150 and 200 nodes (H = 5, v = 2 m/s).
+func Fig12(times []float64, seeds int) []analysis.Series {
+	var out []analysis.Series
+	for _, n := range []int{100, 150, 200} {
+		ys := RemainingNodesSim(n, 5, 2, RandomWaypoint, times, 5, seeds)
+		s := analysis.Series{Label: fmt.Sprintf("N=%d", n), X: times, Y: ys}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig13a reproduces Fig. 13a: remaining nodes over time for H in {4, 5}
+// and node speeds 0, 2 and 4 m/s (N = 200).
+func Fig13a(times []float64, seeds int) []analysis.Series {
+	var out []analysis.Series
+	for _, h := range []int{4, 5} {
+		for _, v := range []float64{0, 2, 4} {
+			ys := RemainingNodesSim(200, h, v, RandomWaypoint, times, 5, seeds)
+			out = append(out, analysis.Series{
+				Label: fmt.Sprintf("H=%d v=%.0f", h, v), X: times, Y: ys,
+			})
+		}
+	}
+	return out
+}
+
+// Fig13b reproduces Fig. 13b: the node density required to keep `target`
+// nodes in the destination zone after 10 s, versus node speed. Found by
+// scanning density upward in steps of 25 nodes.
+func Fig13b(target float64, speeds []float64, seeds int) analysis.Series {
+	s := analysis.Series{Label: fmt.Sprintf("density for %.0f remaining @10s", target)}
+	times := []float64{10}
+	for _, v := range speeds {
+		required := 0.0
+		for n := 25; n <= 800; n += 25 {
+			ys := RemainingNodesSim(n, 5, v, RandomWaypoint, times, 5, seeds)
+			if ys[0] >= target {
+				required = float64(n)
+				break
+			}
+		}
+		s.X = append(s.X, v)
+		s.Y = append(s.Y, required)
+	}
+	return s
+}
+
+// sweepMetric runs all four protocols across a scenario sweep and extracts
+// one metric per run.
+func sweepMetric(xs []float64, seeds int, configure func(*Scenario, float64),
+	metric func(Result) float64) []analysis.Series {
+	var out []analysis.Series
+	for _, p := range protosAll {
+		s := analysis.Series{Label: string(p)}
+		for _, x := range xs {
+			sc := DefaultScenario()
+			sc.Protocol = p
+			configure(&sc, x)
+			var sample stats.Sample
+			for _, r := range RunParallel(sc, seeds) {
+				sample.Add(metric(r))
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, sample.Mean())
+			s.Err = append(s.Err, sample.CI())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig14a reproduces Fig. 14a: latency per packet versus the number of
+// nodes, for all four protocols.
+func Fig14a(seeds int) []analysis.Series {
+	return sweepMetric([]float64{50, 100, 150, 200}, seeds,
+		func(sc *Scenario, x float64) { sc.N = int(x); sc.Duration = 40 },
+		func(r Result) float64 { return r.MeanLatency })
+}
+
+// Fig14b reproduces Fig. 14b: latency per packet versus node speed, for
+// ALERT and GPSR both with and without destination update (ALARM and AO2P
+// ride the same update setting as "with").
+func Fig14b(seeds int) []analysis.Series {
+	var out []analysis.Series
+	for _, p := range []ProtocolName{ALERT, GPSR} {
+		for _, upd := range []bool{true, false} {
+			label := fmt.Sprintf("%s upd=%v", p, upd)
+			s := analysis.Series{Label: label}
+			for _, v := range []float64{2, 4, 6, 8} {
+				sc := DefaultScenario()
+				sc.Protocol = p
+				sc.Speed = v
+				sc.LocUpdates = upd
+				sc.Duration = 40
+				var sample stats.Sample
+				for _, r := range RunParallel(sc, seeds) {
+					sample.Add(r.MeanLatency)
+				}
+				s.X = append(s.X, v)
+				s.Y = append(s.Y, sample.Mean())
+				s.Err = append(s.Err, sample.CI())
+			}
+			out = append(out, s)
+		}
+	}
+	for _, p := range []ProtocolName{ALARM, AO2P} {
+		s := analysis.Series{Label: string(p)}
+		for _, v := range []float64{2, 4, 6, 8} {
+			sc := DefaultScenario()
+			sc.Protocol = p
+			sc.Speed = v
+			sc.Duration = 40
+			var sample stats.Sample
+			for _, r := range RunParallel(sc, seeds) {
+				sample.Add(r.MeanLatency)
+			}
+			s.X = append(s.X, v)
+			s.Y = append(s.Y, sample.Mean())
+			s.Err = append(s.Err, sample.CI())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig15a reproduces Fig. 15a: hops per packet versus number of nodes for
+// the four protocols, plus the "ALARM (include id dissemination hops)"
+// series.
+func Fig15a(seeds int) []analysis.Series {
+	ns := []float64{50, 100, 150, 200}
+	out := sweepMetric(ns, seeds,
+		func(sc *Scenario, x float64) { sc.N = int(x) },
+		func(r Result) float64 {
+			return r.HopsPerPacket // includes ExtraHops for ALARM
+		})
+	// Add a routing-only ALARM series for contrast (dissemination is
+	// what HopsPerPacket already includes; subtract it back out).
+	s := analysis.Series{Label: "alarm (routing only)"}
+	for _, n := range ns {
+		var sample stats.Sample
+		for seed := 1; seed <= seeds; seed++ {
+			sc := DefaultScenario()
+			sc.Seed = int64(seed)
+			sc.Protocol = ALARM
+			sc.N = int(n)
+			sc.Alarm.DisseminationPeriod = 0 // no overhead counted
+			sample.Add(Run(sc).HopsPerPacket)
+		}
+		s.X = append(s.X, n)
+		s.Y = append(s.Y, sample.Mean())
+	}
+	// Relabel the swept ALARM series to make the dissemination explicit.
+	for i := range out {
+		if out[i].Label == string(ALARM) {
+			out[i].Label = "alarm (include id dissemination hops)"
+		}
+	}
+	return append(out, s)
+}
+
+// Fig15b reproduces Fig. 15b: hops per packet versus node speed, with and
+// without destination update for ALERT and GPSR.
+func Fig15b(seeds int) []analysis.Series {
+	var out []analysis.Series
+	for _, p := range []ProtocolName{ALERT, GPSR} {
+		for _, upd := range []bool{true, false} {
+			s := analysis.Series{Label: fmt.Sprintf("%s upd=%v", p, upd)}
+			for _, v := range []float64{2, 4, 6, 8} {
+				sc := DefaultScenario()
+				sc.Protocol = p
+				sc.Speed = v
+				sc.LocUpdates = upd
+				sc.Duration = 40
+				var sample stats.Sample
+				for _, r := range RunParallel(sc, seeds) {
+					sample.Add(r.HopsPerPacket)
+				}
+				s.X = append(s.X, v)
+				s.Y = append(s.Y, sample.Mean())
+				s.Err = append(s.Err, sample.CI())
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig16a reproduces Fig. 16a: delivery rate versus number of nodes.
+func Fig16a(seeds int) []analysis.Series {
+	return sweepMetric([]float64{50, 100, 150, 200}, seeds,
+		func(sc *Scenario, x float64) { sc.N = int(x); sc.Duration = 40 },
+		func(r Result) float64 { return r.DeliveryRate })
+}
+
+// Fig16b reproduces Fig. 16b: delivery rate versus node speed, with and
+// without destination update, for ALERT and GPSR.
+func Fig16b(seeds int) []analysis.Series {
+	var out []analysis.Series
+	for _, p := range []ProtocolName{ALERT, GPSR} {
+		for _, upd := range []bool{true, false} {
+			s := analysis.Series{Label: fmt.Sprintf("%s upd=%v", p, upd)}
+			for _, v := range []float64{2, 4, 6, 8} {
+				sc := DefaultScenario()
+				sc.Protocol = p
+				sc.Speed = v
+				sc.LocUpdates = upd
+				sc.Duration = 40
+				var sample stats.Sample
+				for _, r := range RunParallel(sc, seeds) {
+					sample.Add(r.DeliveryRate)
+				}
+				s.X = append(s.X, v)
+				s.Y = append(s.Y, sample.Mean())
+				s.Err = append(s.Err, sample.CI())
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig17 reproduces Fig. 17: ALERT's delay under the random waypoint model
+// versus the group mobility model with 10 groups/150 m and 5 groups/200 m.
+func Fig17(seeds int) []analysis.Series {
+	configs := []struct {
+		label      string
+		mob        MobilityName
+		groups     int
+		groupRange float64
+	}{
+		{"random waypoint", RandomWaypoint, 0, 0},
+		{"group (10 groups, 150 m)", GroupMobility, 10, 150},
+		{"group (5 groups, 200 m)", GroupMobility, 5, 200},
+	}
+	var out []analysis.Series
+	for _, c := range configs {
+		s := analysis.Series{Label: c.label}
+		var sample stats.Sample
+		for seed := 1; seed <= seeds; seed++ {
+			sc := DefaultScenario()
+			sc.Seed = int64(seed)
+			sc.Protocol = ALERT
+			sc.Mobility = c.mob
+			sc.Groups = c.groups
+			sc.GroupRange = c.groupRange
+			sc.Duration = 60
+			sample.Add(Run(sc).MeanLatency)
+		}
+		s.X = []float64{0}
+		s.Y = []float64{sample.Mean()}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Comparison is a pairwise protocol comparison on one metric with Welch's
+// t-test significance over independent seeded runs.
+type Comparison struct {
+	Metric string
+	A, B   ProtocolName
+	MeanA  float64
+	MeanB  float64
+	Welch  stats.WelchResult
+}
+
+// CompareProtocols runs every protocol `seeds` times on the default
+// scenario and tests each pair's difference on the named metrics. It backs
+// the `figures compare` command: the paper's orderings stated with
+// statistical confidence rather than eyeballed means.
+func CompareProtocols(protocols []ProtocolName, seeds int, duration float64) []Comparison {
+	metrics := []struct {
+		name string
+		get  func(Result) float64
+	}{
+		{"latency", func(r Result) float64 { return r.MeanLatency }},
+		{"hops/packet", func(r Result) float64 { return r.HopsPerPacket }},
+		{"delivery", func(r Result) float64 { return r.DeliveryRate }},
+		{"route-similarity", func(r Result) float64 { return r.RouteJaccard }},
+		{"energy/delivered", func(r Result) float64 { return r.EnergyPerDelivered }},
+	}
+	samples := map[ProtocolName]map[string]*stats.Sample{}
+	for _, p := range protocols {
+		samples[p] = map[string]*stats.Sample{}
+		for _, m := range metrics {
+			samples[p][m.name] = &stats.Sample{}
+		}
+		for seed := 1; seed <= seeds; seed++ {
+			sc := DefaultScenario()
+			sc.Seed = int64(seed)
+			sc.Protocol = p
+			if duration > 0 {
+				sc.Duration = duration
+			}
+			r := Run(sc)
+			for _, m := range metrics {
+				samples[p][m.name].Add(m.get(r))
+			}
+		}
+	}
+	var out []Comparison
+	for _, m := range metrics {
+		for i := 0; i < len(protocols); i++ {
+			for j := i + 1; j < len(protocols); j++ {
+				a, b := protocols[i], protocols[j]
+				sa, sb := samples[a][m.name], samples[b][m.name]
+				out = append(out, Comparison{
+					Metric: m.name,
+					A:      a, B: b,
+					MeanA: sa.Mean(), MeanB: sb.Mean(),
+					Welch: stats.WelchT(sa, sb),
+				})
+			}
+		}
+	}
+	return out
+}

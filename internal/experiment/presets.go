@@ -1,0 +1,77 @@
+// Named scenario presets: the configurations the paper (and its motivating
+// use cases) keep returning to, addressable from the CLI.
+
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset is a named, documented scenario configuration.
+type Preset struct {
+	Name        string
+	Description string
+	Scenario    Scenario
+}
+
+// Presets returns the built-in scenario presets, sorted by name.
+func Presets() []Preset {
+	mk := func(name, desc string, mutate func(*Scenario)) Preset {
+		sc := DefaultScenario()
+		mutate(&sc)
+		return Preset{Name: name, Description: desc, Scenario: sc}
+	}
+	out := []Preset{
+		mk("paper-default",
+			"Section 5.2 defaults: 1 km², 200 nodes, 2 m/s RWP, 10 CBR pairs",
+			func(sc *Scenario) {}),
+		mk("sparse",
+			"Fig. 16a's hard case: 50 nodes, connectivity holes",
+			func(sc *Scenario) { sc.N = 50 }),
+		mk("highspeed",
+			"Fig. 14b/16b's stress: 8 m/s, no destination updates",
+			func(sc *Scenario) { sc.Speed = 8; sc.LocUpdates = false }),
+		mk("battlefield",
+			"Squad movement: 10 groups / 150 m, intersection guard armed",
+			func(sc *Scenario) {
+				sc.Mobility = GroupMobility
+				sc.Alert.IntersectionGuard = true
+			}),
+		mk("covert",
+			"Full anonymity suite on: notify-and-go, guard, confirmations",
+			func(sc *Scenario) {
+				sc.Alert.NotifyAndGo = true
+				sc.Alert.IntersectionGuard = true
+				sc.Alert.Confirm = true
+			}),
+		mk("lossy",
+			"20% frame loss with NAK recovery",
+			func(sc *Scenario) {
+				sc.LossRate = 0.2
+				sc.Alert.NAKs = true
+				sc.Alert.CompleteTimeout = 20
+			}),
+		mk("multimedia",
+			"Voice-like stream: 160 B packets every 0.5 s per pair",
+			func(sc *Scenario) {
+				sc.PacketSize = 160
+				sc.Interval = 0.5
+				sc.Workload = Poisson
+			}),
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindPreset returns the named preset or an error listing the valid names.
+func FindPreset(name string) (Preset, error) {
+	var names []string
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+		names = append(names, p.Name)
+	}
+	return Preset{}, fmt.Errorf("experiment: unknown preset %q (have %v)", name, names)
+}

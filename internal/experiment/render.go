@@ -1,0 +1,145 @@
+// Text rendering of figure series for cmd/figures and EXPERIMENTS.md.
+
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"alertmanet/internal/analysis"
+)
+
+// RenderSeries prints labeled series as an aligned table: one row per x
+// value, one column per series. Series whose x grids differ are printed
+// back to back; single-point series print as label/value pairs.
+func RenderSeries(w io.Writer, title string, series []analysis.Series) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	if len(series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	allSingle := true
+	sameGrid := true
+	for _, s := range series {
+		if len(s.X) != 1 {
+			allSingle = false
+		}
+		if len(s.X) != len(series[0].X) {
+			sameGrid = false
+		} else {
+			for i := range s.X {
+				if s.X[i] != series[0].X[i] {
+					sameGrid = false
+					break
+				}
+			}
+		}
+	}
+	switch {
+	case allSingle:
+		for _, s := range series {
+			fmt.Fprintf(w, "  %-32s %12.4f\n", s.Label, s.Y[0])
+		}
+	case sameGrid:
+		fmt.Fprintf(w, "  %10s", "x")
+		for _, s := range series {
+			fmt.Fprintf(w, " %24s", truncate(s.Label, 24))
+		}
+		fmt.Fprintln(w)
+		for i := range series[0].X {
+			fmt.Fprintf(w, "  %10.2f", series[0].X[i])
+			for _, s := range series {
+				if s.Err != nil && i < len(s.Err) && s.Err[i] > 0 {
+					fmt.Fprintf(w, " %24s",
+						fmt.Sprintf("%.4f±%.4f", s.Y[i], s.Err[i]))
+				} else {
+					fmt.Fprintf(w, " %24.4f", s.Y[i])
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	default:
+		for _, s := range series {
+			fmt.Fprintf(w, "  -- %s --\n", s.Label)
+			for i := range s.X {
+				fmt.Fprintf(w, "    %10.2f %12.4f\n", s.X[i], s.Y[i])
+			}
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// RenderCSV prints series as CSV: a comment line with the title, a header
+// row (x plus one column per series label), then one row per x value.
+// Series with differing grids are emitted as separate blocks.
+func RenderCSV(w io.Writer, title string, series []analysis.Series) {
+	fmt.Fprintf(w, "# %s\n", title)
+	if len(series) == 0 {
+		return
+	}
+	sameGrid := true
+	for _, s := range series {
+		if len(s.X) != len(series[0].X) {
+			sameGrid = false
+			break
+		}
+		for i := range s.X {
+			if s.X[i] != series[0].X[i] {
+				sameGrid = false
+				break
+			}
+		}
+	}
+	if !sameGrid {
+		for _, s := range series {
+			fmt.Fprintf(w, "# series: %s\nx,y\n", csvEscape(s.Label))
+			for i := range s.X {
+				fmt.Fprintf(w, "%g,%g\n", s.X[i], s.Y[i])
+			}
+		}
+		return
+	}
+	withErr := false
+	for _, s := range series {
+		if s.Err != nil {
+			withErr = true
+			break
+		}
+	}
+	fmt.Fprint(w, "x")
+	for _, s := range series {
+		fmt.Fprintf(w, ",%s", csvEscape(s.Label))
+		if withErr {
+			fmt.Fprintf(w, ",%s", csvEscape(s.Label+" ci95"))
+		}
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].X {
+		fmt.Fprintf(w, "%g", series[0].X[i])
+		for _, s := range series {
+			fmt.Fprintf(w, ",%g", s.Y[i])
+			if withErr {
+				e := 0.0
+				if s.Err != nil && i < len(s.Err) {
+					e = s.Err[i]
+				}
+				fmt.Fprintf(w, ",%g", e)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}

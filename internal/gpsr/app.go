@@ -1,0 +1,92 @@
+// The GPSR baseline protocol of the evaluation (Section 5): plain
+// geographic routing of application packets to the destination's location
+// looked up from the location service, with no anonymity machinery. This is
+// the "base-line GPSR algorithm" every figure compares against.
+
+package gpsr
+
+import (
+	"alertmanet/internal/locservice"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/metrics"
+	"alertmanet/internal/node"
+)
+
+// AppConfig tunes the baseline application.
+type AppConfig struct {
+	// PacketSize is the on-air data packet size (512 bytes).
+	PacketSize int
+	// HopBudget is the TTL in hops (10 in the paper's experiments).
+	HopBudget int
+	// CompleteTimeout records a packet as undelivered after this long.
+	CompleteTimeout float64
+}
+
+// DefaultAppConfig matches the paper's parameters.
+func DefaultAppConfig() AppConfig {
+	return AppConfig{PacketSize: 512, HopBudget: DefaultHopBudget, CompleteTimeout: 8}
+}
+
+// App is the GPSR baseline protocol instance.
+type App struct {
+	net    *node.Network
+	loc    *locservice.Service
+	router *Router
+	cfg    AppConfig
+	col    *metrics.Collector
+}
+
+// NewApp creates the baseline and attaches its handlers on every node.
+func NewApp(net *node.Network, loc *locservice.Service, cfg AppConfig) *App {
+	a := &App{
+		net:    net,
+		loc:    loc,
+		router: New(net),
+		cfg:    cfg,
+		col:    metrics.NewCollector(),
+	}
+	a.router.AttachAll()
+	return a
+}
+
+// Collector returns the run's metrics.
+func (a *App) Collector() *metrics.Collector { return a.col }
+
+// Router exposes the underlying router.
+func (a *App) Router() *Router { return a.router }
+
+// Send routes one application packet from src to dst by plain GPSR and
+// returns its metrics record.
+func (a *App) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+	rec := a.col.Start(src, dst, a.net.Eng.Now())
+	entry, ok := a.loc.Lookup(dst)
+	if !ok {
+		a.col.Complete(rec, 0, false)
+		return rec
+	}
+	completed := false
+	finish := func(at float64, delivered bool) {
+		if completed {
+			return
+		}
+		completed = true
+		a.col.Complete(rec, at, delivered)
+	}
+	if a.cfg.CompleteTimeout > 0 {
+		a.net.Eng.Schedule(a.cfg.CompleteTimeout, func() { finish(0, false) })
+	}
+	pkt := &Packet{
+		Dest:      entry.Pos,
+		DeliverTo: dst,
+		Payload:   data,
+		Size:      a.cfg.PacketSize,
+		HopBudget: a.cfg.HopBudget,
+		OnOutcome: func(_ medium.NodeID, gp *Packet, out Outcome) {
+			rec.Hops = gp.Hops
+			rec.Path = gp.Path
+			finish(a.net.Eng.Now(), out == Delivered)
+		},
+	}
+	a.router.Send(src, pkt)
+	return rec
+}

@@ -1,0 +1,378 @@
+// Package gpsr implements Greedy Perimeter Stateless Routing [15, 30], the
+// geographic routing substrate every protocol in this repository rides on:
+// the GPSR baseline itself, ALERT's legs between random forwarders
+// (Section 2.3), and the AO2P and ALARM comparators.
+//
+// A packet targets a position. Each holder greedily forwards to the
+// neighbor whose beaconed position is closest to the target; when no
+// neighbor improves on the holder (a dead end, Section 2.7), the packet
+// either terminates — ALERT's "node closest to the TD becomes the random
+// forwarder" rule — or enters perimeter mode: a right-hand-rule walk over
+// the Gabriel-graph planarization of the neighbor graph until greedy
+// progress resumes, as in the original GPSR recovery.
+package gpsr
+
+import (
+	"math"
+
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/node"
+)
+
+// Mode is a packet's forwarding state.
+type Mode uint8
+
+const (
+	// Greedy forwards to the neighbor closest to the destination.
+	Greedy Mode = iota
+	// Perimeter walks planar faces by the right-hand rule to escape a
+	// dead end.
+	Perimeter
+)
+
+// Outcome describes how a routing attempt ended.
+type Outcome uint8
+
+const (
+	// Delivered means the packet reached its DeliverTo node.
+	Delivered Outcome = iota
+	// ArrivedClosest means the packet reached the node closest to the
+	// target position (DeliverTo unset) — an ALERT random forwarder.
+	ArrivedClosest
+	// DroppedTTL means the hop budget ran out.
+	DroppedTTL
+	// DroppedDeadEnd means perimeter recovery failed (disconnected or
+	// the walk returned to its first edge).
+	DroppedDeadEnd
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case ArrivedClosest:
+		return "arrived-closest"
+	case DroppedTTL:
+		return "dropped-ttl"
+	default:
+		return "dropped-dead-end"
+	}
+}
+
+// NoDeliverTo marks a packet that terminates at the node closest to the
+// target position rather than at a specific node.
+const NoDeliverTo = medium.NodeID(-1)
+
+// Packet is a geographic routing unit. Protocols embed their own payload.
+type Packet struct {
+	// Dest is the position the packet routes toward (a node's looked-up
+	// location, or an ALERT temporary destination).
+	Dest geo.Point
+	// DeliverTo, when set, is the node the packet must reach; routing
+	// fails rather than terminating at a closest node.
+	DeliverTo medium.NodeID
+	// Payload is the protocol's content; Size its bytes on air.
+	Payload any
+	Size    int
+	// HopBudget is the remaining TTL in hops.
+	HopBudget int
+	// Hops counts transmissions so far (across perimeter recoveries).
+	Hops int
+	// Path records every node that held the packet, starting with the
+	// origin. Used by the participating-node metrics (Fig. 10).
+	Path []medium.NodeID
+	// OnOutcome is invoked exactly once when routing ends, at the node
+	// where it ended (for drops: the last holder).
+	OnOutcome func(at medium.NodeID, pkt *Packet, out Outcome)
+
+	mode      Mode
+	entryDist float64       // distance to Dest when entering perimeter mode
+	prev      medium.NodeID // previous holder (perimeter right-hand rule)
+	firstFrom medium.NodeID // first perimeter edge, loop detection
+	firstTo   medium.NodeID
+}
+
+// Counters aggregates router activity.
+type Counters struct {
+	Sent             uint64
+	Delivered        uint64
+	ArrivedClosest   uint64
+	DroppedTTL       uint64
+	DroppedDeadEnd   uint64
+	TotalHops        uint64
+	PerimeterEntries uint64
+}
+
+// Planarization selects the planar subgraph used in perimeter mode.
+type Planarization uint8
+
+// The two planarizations of the original GPSR paper.
+const (
+	// GabrielGraph keeps edge (u,v) unless a witness sits inside the
+	// circle with diameter uv (the default).
+	GabrielGraph Planarization = iota
+	// RelativeNeighborhood keeps (u,v) unless a witness is closer to
+	// both u and v than they are to each other; a sparser subgraph.
+	RelativeNeighborhood
+)
+
+// Router routes packets over a network. It is stateless per the GPSR
+// design: all routing state lives in the packet.
+type Router struct {
+	net    *node.Network
+	counts Counters
+	// Planar selects the perimeter-mode planarization.
+	Planar Planarization
+}
+
+// New creates a router for the network.
+func New(net *node.Network) *Router { return &Router{net: net} }
+
+// Counters returns a snapshot of routing statistics.
+func (r *Router) Counters() Counters { return r.counts }
+
+// DefaultHopBudget is the paper's TTL of 10 for baseline GPSR runs; ALERT
+// legs use it per leg.
+const DefaultHopBudget = 10
+
+// SafeRangeFactor is the fraction of the radio range greedy forwarding
+// prefers to stay within (see the comment in Handle).
+const SafeRangeFactor = 0.9
+
+// Send begins routing pkt from the given node. The packet is processed at
+// the origin immediately (the origin itself may be the closest node).
+func (r *Router) Send(from medium.NodeID, pkt *Packet) {
+	r.counts.Sent++
+	if pkt.HopBudget <= 0 {
+		pkt.HopBudget = DefaultHopBudget
+	}
+	pkt.mode = Greedy
+	pkt.prev = NoDeliverTo
+	pkt.Path = append(pkt.Path, from)
+	r.Handle(from, pkt)
+}
+
+// Handle processes pkt at node cur: deliver, forward greedily, or walk the
+// perimeter. Protocol demux layers call this when a medium delivery carries
+// a *Packet.
+func (r *Router) Handle(cur medium.NodeID, pkt *Packet) {
+	if pkt.DeliverTo != NoDeliverTo && cur == pkt.DeliverTo {
+		r.finish(cur, pkt, Delivered)
+		return
+	}
+	nbrs := r.net.Med.Neighbors(cur)
+	selfPos := r.net.Med.PositionNow(cur)
+	selfDist := selfPos.Dist(pkt.Dest)
+
+	if pkt.mode == Perimeter && selfDist < pkt.entryDist {
+		// Closer than where we entered recovery: back to greedy.
+		pkt.mode = Greedy
+	}
+
+	if pkt.mode == Greedy {
+		// Prefer links comfortably inside the radio range: beacon
+		// positions are up to a hello interval stale, so a neighbor at
+		// the very fringe may have drifted out by delivery time and the
+		// frame is silently lost. Real GPSR gets this for free from the
+		// 802.11 MAC's ARQ feedback; we approximate it by preferring
+		// neighbors within SafeRangeFactor of the range and falling
+		// back to fringe links only when nothing safer improves.
+		safe := r.net.Med.Params().Range * SafeRangeFactor
+		best := NoDeliverTo
+		bestDist := selfDist
+		for _, nb := range nbrs {
+			if selfPos.Dist(nb.Pos) > safe {
+				continue
+			}
+			if d := nb.Pos.Dist(pkt.Dest); d < bestDist {
+				best, bestDist = nb.ID, d
+			}
+		}
+		if best == NoDeliverTo {
+			for _, nb := range nbrs {
+				if d := nb.Pos.Dist(pkt.Dest); d < bestDist {
+					best, bestDist = nb.ID, d
+				}
+			}
+		}
+		if best != NoDeliverTo {
+			r.forward(cur, best, pkt)
+			return
+		}
+		// Dead end. In closest-node mode this IS the arrival: the
+		// holder is locally closest to the target (the RF rule).
+		if pkt.DeliverTo == NoDeliverTo {
+			r.finish(cur, pkt, ArrivedClosest)
+			return
+		}
+		// Enter perimeter mode.
+		pkt.mode = Perimeter
+		pkt.entryDist = selfDist
+		pkt.firstFrom, pkt.firstTo = NoDeliverTo, NoDeliverTo
+		r.counts.PerimeterEntries++
+	}
+
+	// Perimeter forwarding over the planar subgraph.
+	var planar []medium.Neighbor
+	if r.Planar == RelativeNeighborhood {
+		planar = planarizeRNG(selfPos, nbrs)
+	} else {
+		planar = planarize(selfPos, nbrs)
+	}
+	if len(planar) == 0 {
+		r.finish(cur, pkt, DroppedDeadEnd)
+		return
+	}
+	var ref geo.Point
+	if pkt.prev != NoDeliverTo {
+		ref = r.net.Med.PositionNow(pkt.prev)
+	} else {
+		ref = pkt.Dest
+	}
+	next := rightHand(selfPos, ref, planar)
+	if pkt.firstFrom == NoDeliverTo {
+		pkt.firstFrom, pkt.firstTo = cur, next.ID
+	} else if cur == pkt.firstFrom && next.ID == pkt.firstTo {
+		// Completed a full face tour with no progress: unreachable.
+		r.finish(cur, pkt, DroppedDeadEnd)
+		return
+	}
+	r.forward(cur, next.ID, pkt)
+}
+
+// forward transmits pkt one hop. The receiving side must route the payload
+// back into Handle (protocols do this in their medium handlers).
+func (r *Router) forward(cur, next medium.NodeID, pkt *Packet) {
+	if pkt.HopBudget <= 0 {
+		r.finish(cur, pkt, DroppedTTL)
+		return
+	}
+	pkt.HopBudget--
+	pkt.Hops++
+	r.counts.TotalHops++
+	pkt.prev = cur
+	pkt.Path = append(pkt.Path, next)
+	r.net.Med.Unicast(cur, next, pkt, pkt.Size)
+}
+
+func (r *Router) finish(at medium.NodeID, pkt *Packet, out Outcome) {
+	switch out {
+	case Delivered:
+		r.counts.Delivered++
+	case ArrivedClosest:
+		r.counts.ArrivedClosest++
+	case DroppedTTL:
+		r.counts.DroppedTTL++
+	case DroppedDeadEnd:
+		r.counts.DroppedDeadEnd++
+	}
+	if pkt.OnOutcome != nil {
+		pkt.OnOutcome(at, pkt, out)
+	}
+}
+
+// NextGreedy returns the neighbor a greedy step from the given node toward
+// dest would choose, or ok=false at a dead end. ALERT's source uses this to
+// learn the first relay so it can encrypt the TTL field to that relay's
+// public key (Section 2.6).
+func (r *Router) NextGreedy(from medium.NodeID, dest geo.Point) (medium.NodeID, bool) {
+	selfDist := r.net.Med.PositionNow(from).Dist(dest)
+	best := NoDeliverTo
+	bestDist := selfDist
+	for _, nb := range r.net.Med.Neighbors(from) {
+		if d := nb.Pos.Dist(dest); d < bestDist {
+			best, bestDist = nb.ID, d
+		}
+	}
+	return best, best != NoDeliverTo
+}
+
+// AttachAll registers a medium handler on every node that feeds *Packet
+// payloads back into Handle. Single-protocol simulations (the GPSR baseline
+// itself, unit tests) use this; protocols with richer packet types attach
+// their own demux and call Handle themselves.
+func (r *Router) AttachAll() {
+	for i := 0; i < r.net.N(); i++ {
+		id := medium.NodeID(i)
+		r.net.Med.Attach(id, func(_ medium.NodeID, payload any, _ int) {
+			if pkt, ok := payload.(*Packet); ok {
+				r.Handle(id, pkt)
+			}
+		})
+	}
+}
+
+// planarize returns the neighbors kept by the Gabriel graph test: neighbor
+// u survives unless some witness w lies inside the circle whose diameter is
+// the segment (self, u). Planarity makes the right-hand walk terminate on
+// faces instead of crossing edges.
+func planarize(self geo.Point, nbrs []medium.Neighbor) []medium.Neighbor {
+	var out []medium.Neighbor
+	for _, u := range nbrs {
+		mid := geo.Point{X: (self.X + u.Pos.X) / 2, Y: (self.Y + u.Pos.Y) / 2}
+		radius2 := self.Dist2(u.Pos) / 4
+		keep := true
+		for _, w := range nbrs {
+			if w.ID == u.ID {
+				continue
+			}
+			if w.Pos.Dist2(mid) < radius2 {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// planarizeRNG returns the neighbors kept by the Relative Neighborhood
+// Graph test: u survives unless some witness w is strictly closer to both
+// endpoints than they are to each other (the "lune" test). RNG is a
+// subgraph of the Gabriel graph — sparser faces, longer perimeter walks —
+// and is the other planarization the original GPSR paper evaluates.
+func planarizeRNG(self geo.Point, nbrs []medium.Neighbor) []medium.Neighbor {
+	var out []medium.Neighbor
+	for _, u := range nbrs {
+		d2 := self.Dist2(u.Pos)
+		keep := true
+		for _, w := range nbrs {
+			if w.ID == u.ID {
+				continue
+			}
+			if w.Pos.Dist2(self) < d2 && w.Pos.Dist2(u.Pos) < d2 {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// rightHand picks the planar neighbor reached by sweeping counterclockwise
+// from the reference direction (self -> ref), i.e. the GPSR rule "the next
+// edge is the one sequentially counterclockwise about self from the
+// incoming edge".
+func rightHand(self, ref geo.Point, planar []medium.Neighbor) medium.Neighbor {
+	base := math.Atan2(ref.Y-self.Y, ref.X-self.X)
+	best := planar[0]
+	bestAngle := math.Inf(1)
+	for _, nb := range planar {
+		a := math.Atan2(nb.Pos.Y-self.Y, nb.Pos.X-self.X)
+		delta := a - base
+		for delta <= 1e-12 { // strictly positive CCW sweep
+			delta += 2 * math.Pi
+		}
+		if delta < bestAngle {
+			bestAngle = delta
+			best = nb
+		}
+	}
+	return best
+}

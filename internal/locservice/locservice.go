@@ -1,0 +1,289 @@
+// Package locservice models the secure location service of Section 2.2:
+// third-party servers that hold each node's current position and public key.
+// A source that knows a destination's identity queries the service to learn
+// the destination's location (to aim geographic routing) and its public key
+// (to establish the session's symmetric key).
+//
+// The service is an oracle with the two behaviours the evaluation exercises:
+//
+//   - Update on/off. Figures 14b, 15b and 16b compare runs "with destination
+//     update" (positions refreshed every UpdateInterval) against "without
+//     destination update" (positions frozen at registration), which makes
+//     fast-moving destinations unreachable by the stale coordinate.
+//
+//   - Overhead accounting. Section 4.3 argues the service is cheap as long
+//     as N_L ~ sqrt(N) and the update frequency f is far below the
+//     communication frequency F; the package counts the messages in those
+//     formulas so the claim can be checked numerically.
+//
+// Replicated servers may fail; lookups succeed while at least one replica
+// is alive (the paper assumes seamless switch-over between servers).
+package locservice
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"alertmanet/internal/crypt"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/node"
+	"alertmanet/internal/sim"
+)
+
+// Config controls the location service.
+type Config struct {
+	// NumServers is N_L; zero means ceil(sqrt(N)) per Section 4.3.
+	NumServers int
+	// UpdateInterval is the position-update period in seconds (1/f).
+	UpdateInterval float64
+	// UpdatesEnabled distinguishes the paper's "with destination update"
+	// and "without destination update" runs.
+	UpdatesEnabled bool
+}
+
+// DefaultConfig enables updates every 2 seconds.
+func DefaultConfig() Config {
+	return Config{NumServers: 0, UpdateInterval: 2, UpdatesEnabled: true}
+}
+
+// Entry is what a lookup returns about a node.
+type Entry struct {
+	Pos       geo.Point
+	Pub       crypt.PubKey
+	Pseudonym crypt.Pseudonym
+	UpdatedAt float64
+}
+
+// Counters tallies service traffic for the Section 4.3 overhead analysis.
+type Counters struct {
+	// Updates counts node->server position/pseudonym updates (N*f*T).
+	Updates uint64
+	// Replications counts server<->server messages (N_L*(N_L-1)*f*T).
+	Replications uint64
+	// Lookups counts client queries.
+	Lookups uint64
+}
+
+// Service is the replicated location service.
+type Service struct {
+	net     *node.Network
+	cfg     Config
+	entries []Entry
+	alive   []bool
+	counts  Counters
+	stop    func()
+	// macKeys are the predistributed shared keys between each node and
+	// its location server (Section 2.2).
+	macKeys []crypt.MACKey
+}
+
+// New creates the service, registers every node's initial position and
+// public key, and (if enabled) schedules periodic updates.
+func New(net *node.Network, cfg Config) *Service {
+	if cfg.NumServers <= 0 {
+		cfg.NumServers = int(math.Ceil(math.Sqrt(float64(net.N()))))
+		if cfg.NumServers < 1 {
+			cfg.NumServers = 1
+		}
+	}
+	s := &Service{net: net, cfg: cfg}
+	s.entries = make([]Entry, net.N())
+	s.alive = make([]bool, cfg.NumServers)
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	s.macKeys = make([]crypt.MACKey, net.N())
+	keySrc := net.Rand().Split("locservice-mac")
+	for i := range s.macKeys {
+		s.macKeys[i] = crypt.NewSymKey(keySrc)
+	}
+	now := net.Eng.Now()
+	for i, nd := range net.Nodes {
+		nd.RegisteredPseudonym = nd.Pseudonym
+		s.entries[i] = Entry{Pos: nd.Position(), Pub: nd.Pub,
+			Pseudonym: nd.Pseudonym, UpdatedAt: now}
+	}
+	if cfg.UpdatesEnabled && cfg.UpdateInterval > 0 {
+		s.stop = net.Eng.Ticker(cfg.UpdateInterval, cfg.UpdateInterval,
+			func(sim.Time) { s.updateAll() })
+	}
+	return s
+}
+
+func (s *Service) updateAll() {
+	now := s.net.Eng.Now()
+	for i, nd := range s.net.Nodes {
+		nd.RegisteredPseudonym = nd.Pseudonym
+		s.entries[i].Pos = nd.Position()
+		s.entries[i].Pseudonym = nd.Pseudonym
+		s.entries[i].UpdatedAt = now
+		s.counts.Updates++
+	}
+	// Full-mesh replication among alive servers.
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	s.counts.Replications += uint64(n * (n - 1))
+}
+
+// StopUpdates cancels the periodic update ticker (e.g. to freeze positions
+// mid-run).
+func (s *Service) StopUpdates() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
+}
+
+// Lookup returns the registered entry for a node. ok is false when every
+// server replica has failed. The query and encrypted response exchange with
+// the node's own location server is abstracted to a counter.
+func (s *Service) Lookup(id medium.NodeID) (Entry, bool) {
+	s.counts.Lookups++
+	if !s.anyAlive() {
+		return Entry{}, false
+	}
+	return s.entries[id], true
+}
+
+func (s *Service) anyAlive() bool {
+	for _, a := range s.alive {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+// FailServer marks one server replica as failed. Lookups keep succeeding
+// while any replica lives.
+func (s *Service) FailServer(i int) {
+	if i >= 0 && i < len(s.alive) {
+		s.alive[i] = false
+	}
+}
+
+// RecoverServer brings a failed replica back.
+func (s *Service) RecoverServer(i int) {
+	if i >= 0 && i < len(s.alive) {
+		s.alive[i] = true
+	}
+}
+
+// NumServers returns N_L.
+func (s *Service) NumServers() int { return s.cfg.NumServers }
+
+// Counters returns a snapshot of service traffic.
+func (s *Service) Counters() Counters { return s.counts }
+
+// SharedKey returns the predistributed key between a node and its location
+// server; nodes use it to sign lookup requests and open sealed responses.
+func (s *Service) SharedKey(id medium.NodeID) crypt.MACKey { return s.macKeys[id] }
+
+// SignedRequest is a location lookup as it travels to the server: the
+// requester signs the target identity with its shared key (Section 2.2:
+// "it will sign the request containing B's identity using its own
+// identity").
+type SignedRequest struct {
+	Requester medium.NodeID
+	Target    medium.NodeID
+	Tag       [20]byte
+}
+
+// NewSignedRequest builds and signs a lookup request.
+func (s *Service) NewSignedRequest(requester, target medium.NodeID) SignedRequest {
+	return SignedRequest{
+		Requester: requester,
+		Target:    target,
+		Tag:       crypt.MAC(s.macKeys[requester], requestBytes(requester, target)),
+	}
+}
+
+func requestBytes(requester, target medium.NodeID) []byte {
+	return []byte{
+		byte(requester >> 8), byte(requester),
+		byte(target >> 8), byte(target),
+	}
+}
+
+// SecureLookup is the full Section 2.2 handshake: the server verifies the
+// request's signature and returns the target's position and public key
+// sealed under the requester's shared key; the requester opens it. It
+// returns ok=false for a bad signature or when every replica has failed.
+// (Protocols use the plain Lookup oracle on the hot path; SecureLookup
+// exists to exercise and test the handshake end to end.)
+func (s *Service) SecureLookup(req SignedRequest) (Entry, bool) {
+	s.counts.Lookups++
+	if !s.anyAlive() {
+		return Entry{}, false
+	}
+	if int(req.Requester) < 0 || int(req.Requester) >= len(s.macKeys) ||
+		int(req.Target) < 0 || int(req.Target) >= len(s.entries) {
+		return Entry{}, false
+	}
+	// Server side: verify the signature.
+	if !crypt.VerifyMAC(s.macKeys[req.Requester],
+		requestBytes(req.Requester, req.Target), req.Tag) {
+		return Entry{}, false
+	}
+	// Server seals the response under the requester's shared key; the
+	// requester opens it. The seal/open round trip is functionally
+	// performed so tampering is detectable in tests.
+	entry := s.entries[req.Target]
+	sealed := crypt.SymSeal(s.macKeys[req.Requester], encodeEntryPos(entry),
+		s.net.Rand())
+	opened, err := crypt.SymOpen(s.macKeys[req.Requester], sealed)
+	if err != nil {
+		return Entry{}, false
+	}
+	pos, err := decodeEntryPos(opened)
+	if err != nil {
+		return Entry{}, false
+	}
+	entry.Pos = pos
+	return entry, true
+}
+
+func encodeEntryPos(e Entry) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf[0:], math.Float64bits(e.Pos.X))
+	binary.BigEndian.PutUint64(buf[8:], math.Float64bits(e.Pos.Y))
+	return buf
+}
+
+func decodeEntryPos(buf []byte) (geo.Point, error) {
+	if len(buf) != 16 {
+		return geo.Point{}, errInvalidResponse
+	}
+	return geo.Point{
+		X: math.Float64frombits(binary.BigEndian.Uint64(buf[0:])),
+		Y: math.Float64frombits(binary.BigEndian.Uint64(buf[8:])),
+	}, nil
+}
+
+var errInvalidResponse = errors.New("locservice: malformed sealed response")
+
+// OverheadRatio evaluates Section 4.3's expression
+//
+//	(N_L*(N_L-1)*f + N*f) / (N*F)
+//
+// for this service's N_L and update frequency f against a given
+// communication message frequency F (messages per node per second). The
+// service is "cheap" when the ratio is much less than 1.
+func (s *Service) OverheadRatio(commFreq float64) float64 {
+	if commFreq <= 0 || s.cfg.UpdateInterval <= 0 {
+		return math.Inf(1)
+	}
+	f := 1.0 / s.cfg.UpdateInterval
+	if !s.cfg.UpdatesEnabled {
+		f = 0
+	}
+	nl := float64(s.cfg.NumServers)
+	n := float64(s.net.N())
+	return (nl*(nl-1)*f + n*f) / (n * commFreq)
+}

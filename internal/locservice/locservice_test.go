@@ -1,0 +1,255 @@
+package locservice
+
+import (
+	"math"
+	"testing"
+
+	"alertmanet/internal/crypt"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/mobility"
+	"alertmanet/internal/node"
+	"alertmanet/internal/rng"
+	"alertmanet/internal/sim"
+)
+
+var field = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+
+func newNet(n int, speed float64, seed int64) (*sim.Engine, *node.Network) {
+	eng := sim.NewEngine()
+	src := rng.New(seed)
+	mob := mobility.NewRandomWaypoint(field, n, mobility.Fixed(speed), src)
+	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	return eng, node.NewNetwork(eng, med, crypt.NewFastSuite(src),
+		crypt.ZeroCostModel(), node.Config{}, src)
+}
+
+func TestInitialRegistration(t *testing.T) {
+	_, net := newNet(20, 2, 1)
+	s := New(net, DefaultConfig())
+	for i, nd := range net.Nodes {
+		e, ok := s.Lookup(medium.NodeID(i))
+		if !ok {
+			t.Fatal("lookup failed")
+		}
+		if e.Pos != nd.Position() {
+			t.Fatalf("node %d initial position wrong", i)
+		}
+		if e.Pub.Owner() != i {
+			t.Fatalf("node %d pub key wrong", i)
+		}
+	}
+}
+
+func TestDefaultServerCountIsSqrtN(t *testing.T) {
+	_, net := newNet(100, 2, 2)
+	s := New(net, DefaultConfig())
+	if s.NumServers() != 10 {
+		t.Fatalf("N_L = %d, want 10 for N=100", s.NumServers())
+	}
+	_, net2 := newNet(200, 2, 3)
+	s2 := New(net2, DefaultConfig())
+	if s2.NumServers() != 15 { // ceil(sqrt(200)) = 15
+		t.Fatalf("N_L = %d, want 15 for N=200", s2.NumServers())
+	}
+}
+
+func TestUpdatesRefreshPositions(t *testing.T) {
+	eng, net := newNet(10, 5, 4)
+	s := New(net, Config{UpdateInterval: 2, UpdatesEnabled: true})
+	eng.RunUntil(10)
+	for i, nd := range net.Nodes {
+		e, _ := s.Lookup(medium.NodeID(i))
+		// Last update tick at t=10; entry must match position at that time.
+		if e.Pos.Dist(nd.PositionAt(10)) > 1e-9 {
+			t.Fatalf("node %d stale after updates: %v vs %v", i, e.Pos, nd.PositionAt(10))
+		}
+		if e.UpdatedAt != 10 {
+			t.Fatalf("UpdatedAt = %v", e.UpdatedAt)
+		}
+	}
+}
+
+func TestUpdatesDisabledFreezesPositions(t *testing.T) {
+	eng, net := newNet(10, 5, 5)
+	s := New(net, Config{UpdateInterval: 2, UpdatesEnabled: false})
+	initial := make([]geo.Point, 10)
+	for i := range initial {
+		e, _ := s.Lookup(medium.NodeID(i))
+		initial[i] = e.Pos
+	}
+	eng.RunUntil(50)
+	moved := 0
+	for i := range initial {
+		e, _ := s.Lookup(medium.NodeID(i))
+		if e.Pos != initial[i] {
+			t.Fatalf("node %d entry changed despite updates disabled", i)
+		}
+		if net.Nodes[i].Position().Dist(initial[i]) > 10 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: no node moved away from its frozen entry")
+	}
+}
+
+func TestStopUpdates(t *testing.T) {
+	eng, net := newNet(5, 5, 6)
+	s := New(net, Config{UpdateInterval: 1, UpdatesEnabled: true})
+	eng.RunUntil(3)
+	s.StopUpdates()
+	e3, _ := s.Lookup(0)
+	eng.RunUntil(20)
+	e20, _ := s.Lookup(0)
+	if e3.Pos != e20.Pos {
+		t.Fatal("entries changed after StopUpdates")
+	}
+	s.StopUpdates() // second call is a no-op
+}
+
+func TestServerFailure(t *testing.T) {
+	_, net := newNet(16, 2, 7)
+	s := New(net, DefaultConfig()) // 4 servers
+	if s.NumServers() != 4 {
+		t.Fatalf("expected 4 servers, got %d", s.NumServers())
+	}
+	for i := 0; i < 3; i++ {
+		s.FailServer(i)
+	}
+	if _, ok := s.Lookup(0); !ok {
+		t.Fatal("lookup should succeed with one replica alive")
+	}
+	s.FailServer(3)
+	if _, ok := s.Lookup(0); ok {
+		t.Fatal("lookup should fail with all replicas dead")
+	}
+	s.RecoverServer(2)
+	if _, ok := s.Lookup(0); !ok {
+		t.Fatal("lookup should succeed after recovery")
+	}
+	// Out-of-range indices are ignored.
+	s.FailServer(99)
+	s.RecoverServer(-1)
+}
+
+func TestCountersMatchSection43Formulas(t *testing.T) {
+	eng, net := newNet(100, 2, 8)
+	s := New(net, Config{NumServers: 10, UpdateInterval: 2, UpdatesEnabled: true})
+	const T = 20.0
+	eng.RunUntil(T)
+	c := s.Counters()
+	f := 1 / 2.0
+	wantUpdates := uint64(100 * f * T) // N*f*T
+	if c.Updates != wantUpdates {
+		t.Fatalf("Updates = %d, want %d", c.Updates, wantUpdates)
+	}
+	wantRepl := uint64(10 * 9 * f * T) // N_L*(N_L-1)*f*T
+	if c.Replications != wantRepl {
+		t.Fatalf("Replications = %d, want %d", c.Replications, wantRepl)
+	}
+}
+
+func TestOverheadRatioSmall(t *testing.T) {
+	_, net := newNet(200, 2, 9)
+	s := New(net, DefaultConfig())
+	// Section 4.3 requires f << F. With f = 0.5 updates/s and a
+	// multimedia-style F = 10 msgs/node/s the overhead must be << 1.
+	ratio := s.OverheadRatio(10)
+	if ratio >= 0.2 {
+		t.Fatalf("overhead ratio %v not << 1", ratio)
+	}
+	// And it shrinks as communication frequency grows.
+	if s.OverheadRatio(100) >= ratio {
+		t.Fatal("ratio should decrease with higher F")
+	}
+}
+
+func TestOverheadRatioEdgeCases(t *testing.T) {
+	_, net := newNet(10, 2, 10)
+	s := New(net, DefaultConfig())
+	if !math.IsInf(s.OverheadRatio(0), 1) {
+		t.Fatal("F=0 should be +Inf")
+	}
+	s2 := New(net, Config{NumServers: 3, UpdateInterval: 2, UpdatesEnabled: false})
+	if s2.OverheadRatio(1) != 0 {
+		t.Fatal("updates disabled should have zero overhead")
+	}
+}
+
+func TestLookupCountsQueries(t *testing.T) {
+	_, net := newNet(5, 2, 11)
+	s := New(net, DefaultConfig())
+	before := s.Counters().Lookups
+	s.Lookup(0)
+	s.Lookup(1)
+	if s.Counters().Lookups != before+2 {
+		t.Fatal("lookup counter wrong")
+	}
+}
+
+func TestSecureLookupHandshake(t *testing.T) {
+	_, net := newNet(20, 2, 20)
+	s := New(net, DefaultConfig())
+	req := s.NewSignedRequest(3, 7)
+	e, ok := s.SecureLookup(req)
+	if !ok {
+		t.Fatal("valid signed lookup rejected")
+	}
+	plain, _ := s.Lookup(7)
+	if e.Pos != plain.Pos || e.Pub.Owner() != 7 {
+		t.Fatal("secure lookup disagrees with oracle")
+	}
+}
+
+func TestSecureLookupRejectsForgery(t *testing.T) {
+	_, net := newNet(20, 2, 21)
+	s := New(net, DefaultConfig())
+	// A request signed with the wrong node's key must fail: node 4
+	// cannot impersonate node 3.
+	req := s.NewSignedRequest(4, 7)
+	req.Requester = 3 // forged identity, tag still node 4's
+	if _, ok := s.SecureLookup(req); ok {
+		t.Fatal("forged requester accepted")
+	}
+	// Tampered target rejected (signature covers it).
+	req2 := s.NewSignedRequest(3, 7)
+	req2.Target = 9
+	if _, ok := s.SecureLookup(req2); ok {
+		t.Fatal("tampered target accepted")
+	}
+	// Tampered tag rejected.
+	req3 := s.NewSignedRequest(3, 7)
+	req3.Tag[0] ^= 1
+	if _, ok := s.SecureLookup(req3); ok {
+		t.Fatal("tampered tag accepted")
+	}
+}
+
+func TestSecureLookupBounds(t *testing.T) {
+	_, net := newNet(10, 2, 22)
+	s := New(net, DefaultConfig())
+	bad := SignedRequest{Requester: 3, Target: 99}
+	if _, ok := s.SecureLookup(bad); ok {
+		t.Fatal("out-of-range target accepted")
+	}
+	for i := 0; i < s.NumServers(); i++ {
+		s.FailServer(i)
+	}
+	if _, ok := s.SecureLookup(s.NewSignedRequest(1, 2)); ok {
+		t.Fatal("lookup with all servers dead accepted")
+	}
+}
+
+func TestSharedKeysDistinct(t *testing.T) {
+	_, net := newNet(30, 2, 23)
+	s := New(net, DefaultConfig())
+	seen := map[crypt.MACKey]bool{}
+	for i := 0; i < 30; i++ {
+		k := s.SharedKey(medium.NodeID(i))
+		if seen[k] {
+			t.Fatal("duplicate shared key")
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,425 @@
+// Package medium models the wireless channel and MAC layer that NS-2
+// provided in the paper's evaluation: a unit-disk radio with a standard
+// 250 m transmission range, per-packet transmission and contention delay,
+// optional random loss, and hello-beacon neighbor discovery with bounded
+// staleness (Section 5.2).
+//
+// The model is deliberately simple — the evaluation's conclusions rest on
+// connectivity, hop counts and delay composition, not on 802.11 bit-level
+// behaviour — but it keeps the two properties the figures depend on:
+//
+//  1. A transmission only reaches nodes within Range at delivery time, so
+//     mobility can break links mid-flight.
+//  2. Each hop costs transmission time plus a contention jitter, so longer
+//     paths and busier protocols accumulate proportionally more delay.
+package medium
+
+import (
+	"fmt"
+	"math"
+
+	"alertmanet/internal/geo"
+	"alertmanet/internal/mobility"
+	"alertmanet/internal/rng"
+	"alertmanet/internal/sim"
+)
+
+// NodeID identifies a node; ids are dense indices into the mobility model.
+type NodeID int
+
+// Broadcast addressee: delivery to every node in range.
+const BroadcastID NodeID = -1
+
+// Params configures the channel.
+type Params struct {
+	// Range is the radio range in meters (250 m in the paper).
+	Range float64
+	// Bitrate is the channel rate in bits/s; transmission delay is
+	// size*8/Bitrate (2 Mb/s matches the NS-2 802.11 default era).
+	Bitrate float64
+	// MACDelayMean is the mean of the exponential per-transmission
+	// contention/queueing jitter, seconds.
+	MACDelayMean float64
+	// LossRate is the probability an otherwise-deliverable transmission
+	// is lost (collisions, fading).
+	LossRate float64
+	// HelloInterval is the period of neighbor beacons, seconds. Neighbor
+	// tables reflect positions as of the last beacon tick, so faster
+	// nodes have staler tables.
+	HelloInterval float64
+}
+
+// DefaultParams returns the paper's channel configuration.
+func DefaultParams() Params {
+	return Params{
+		Range:         250,
+		Bitrate:       2e6,
+		MACDelayMean:  0.5e-3,
+		LossRate:      0,
+		HelloInterval: 1.0,
+	}
+}
+
+// Handler receives a delivered transmission.
+type Handler func(from NodeID, payload any, size int)
+
+// Counters tallies channel activity for the evaluation metrics.
+type Counters struct {
+	UnicastsSent   uint64
+	BroadcastsSent uint64
+	Delivered      uint64 // individual receptions (a broadcast counts once per receiver)
+	DroppedRange   uint64 // receiver out of range at delivery time
+	DroppedLoss    uint64 // random loss
+	// DroppedCompromised counts frames sunk by compromised relays.
+	DroppedCompromised uint64
+	// TxBytes and RxBytes accumulate payload bytes transmitted and
+	// received (energy accounting).
+	TxBytes uint64
+	RxBytes uint64
+}
+
+// Transmission is what a radio observer sees when a node sends: the frame
+// leaves From at time At from position FromPos. Adversary models subscribe
+// via TapSend; they see frames, sizes and directions — exactly the
+// eavesdropping capability of Section 2.1 — but not any honest-node state.
+type Transmission struct {
+	From    NodeID
+	To      NodeID // BroadcastID for local broadcasts
+	At      float64
+	FromPos geo.Point
+	Size    int
+	Payload any
+}
+
+// Reception is one successful delivery, observable by an adversary close to
+// the receiver (used by the intersection-attack tracker, Section 3.3).
+type Reception struct {
+	From    NodeID
+	To      NodeID
+	At      float64
+	ToPos   geo.Point
+	Size    int
+	Payload any
+}
+
+// Medium is the shared wireless channel.
+type Medium struct {
+	eng      *sim.Engine
+	mob      mobility.Model
+	par      Params
+	src      *rng.Source
+	handlers []Handler
+	counters Counters
+	sendTaps []func(Transmission)
+	recvTaps []func(Reception)
+	// compromised nodes sink every frame they would send (Section 2.1's
+	// DoS-by-intrusion attacker); nil until the first Compromise call.
+	compromised map[NodeID]bool
+	// beacons caches the current hello tick's position snapshot and a
+	// uniform spatial grid over it, so each Neighbors query touches only
+	// the 3x3 grid cells around the querier instead of every node.
+	beacons beaconCache
+	// txByNode counts transmissions per node (load-balance metrics).
+	txByNode []uint64
+}
+
+// beaconCache is one hello tick's position snapshot bucketed into cells of
+// side Range.
+type beaconCache struct {
+	tick  float64
+	valid bool
+	pos   []geo.Point
+	cell  float64
+	grid  map[[2]int][]NodeID
+}
+
+func (b *beaconCache) build(m *Medium, tick float64) {
+	n := m.mob.N()
+	if b.pos == nil {
+		b.pos = make([]geo.Point, n)
+	}
+	b.tick = tick
+	b.valid = true
+	b.cell = m.par.Range
+	b.grid = make(map[[2]int][]NodeID, n)
+	for id := 0; id < n; id++ {
+		p := m.mob.Position(id, tick)
+		b.pos[id] = p
+		key := b.key(p)
+		b.grid[key] = append(b.grid[key], NodeID(id))
+	}
+}
+
+func (b *beaconCache) key(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / b.cell)), int(math.Floor(p.Y / b.cell))}
+}
+
+// around calls fn for every node in the 3x3 cell block that covers all
+// candidates within one Range of p.
+func (b *beaconCache) around(p geo.Point, fn func(NodeID, geo.Point)) {
+	k := b.key(p)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, id := range b.grid[[2]int{k[0] + dx, k[1] + dy}] {
+				fn(id, b.pos[id])
+			}
+		}
+	}
+}
+
+// New creates a medium over the given mobility model.
+func New(eng *sim.Engine, mob mobility.Model, par Params, src *rng.Source) *Medium {
+	if par.Range <= 0 || par.Bitrate <= 0 || par.HelloInterval <= 0 {
+		panic(fmt.Sprintf("medium: invalid params %+v", par))
+	}
+	return &Medium{
+		eng:      eng,
+		mob:      mob,
+		par:      par,
+		src:      src.Split("medium"),
+		handlers: make([]Handler, mob.N()),
+		txByNode: make([]uint64, mob.N()),
+	}
+}
+
+// Params returns the channel configuration.
+func (m *Medium) Params() Params { return m.par }
+
+// SetLossRate changes the random-loss probability mid-run; experiments use
+// it to inject failure windows (e.g. jamming intervals).
+func (m *Medium) SetLossRate(p float64) { m.par.LossRate = p }
+
+// Compromise marks a node as adversary-controlled in the packet-sinking
+// sense of Section 2.1 ("intrude on some specific vulnerable nodes to
+// control their behavior, e.g., with denial-of-service attacks, which may
+// cut the routing"): the node keeps receiving and beaconing like a
+// legitimate neighbor, but every frame it would transmit is silently
+// discarded, so any route through it dies there.
+func (m *Medium) Compromise(id NodeID) {
+	if m.compromised == nil {
+		m.compromised = make(map[NodeID]bool)
+	}
+	m.compromised[id] = true
+}
+
+// Restore returns a compromised node to normal operation.
+func (m *Medium) Restore(id NodeID) { delete(m.compromised, id) }
+
+// Compromised reports whether a node is currently sinking packets.
+func (m *Medium) Compromised(id NodeID) bool { return m.compromised[id] }
+
+// Counters returns a snapshot of channel activity.
+func (m *Medium) Counters() Counters { return m.counters }
+
+// TxByNode returns a copy of the per-node transmission counts.
+func (m *Medium) TxByNode() []uint64 {
+	out := make([]uint64, len(m.txByNode))
+	copy(out, m.txByNode)
+	return out
+}
+
+// Attach registers the packet handler for a node. A node without a handler
+// silently drops receptions.
+func (m *Medium) Attach(id NodeID, h Handler) { m.handlers[id] = h }
+
+// N returns the number of nodes on the channel.
+func (m *Medium) N() int { return len(m.handlers) }
+
+// PositionNow returns a node's true position at the current simulation time.
+func (m *Medium) PositionNow(id NodeID) geo.Point {
+	return m.mob.Position(int(id), m.eng.Now())
+}
+
+// txDelay returns transmission plus contention delay for a payload size.
+func (m *Medium) txDelay(size int) float64 {
+	d := float64(size*8) / m.par.Bitrate
+	if m.par.MACDelayMean > 0 {
+		d += m.src.Exponential(m.par.MACDelayMean)
+	}
+	return d
+}
+
+// TapSend subscribes an observer to every transmission on the channel.
+func (m *Medium) TapSend(fn func(Transmission)) {
+	m.sendTaps = append(m.sendTaps, fn)
+}
+
+// TapRecv subscribes an observer to every successful delivery.
+func (m *Medium) TapRecv(fn func(Reception)) {
+	m.recvTaps = append(m.recvTaps, fn)
+}
+
+func (m *Medium) notifySend(from, to NodeID, payload any, size int) {
+	if len(m.sendTaps) == 0 {
+		return
+	}
+	tx := Transmission{
+		From:    from,
+		To:      to,
+		At:      m.eng.Now(),
+		FromPos: m.mob.Position(int(from), m.eng.Now()),
+		Size:    size,
+		Payload: payload,
+	}
+	for _, fn := range m.sendTaps {
+		fn(tx)
+	}
+}
+
+func (m *Medium) notifyRecv(from, to NodeID, payload any, size int) {
+	if len(m.recvTaps) == 0 {
+		return
+	}
+	rx := Reception{
+		From:    from,
+		To:      to,
+		At:      m.eng.Now(),
+		ToPos:   m.mob.Position(int(to), m.eng.Now()),
+		Size:    size,
+		Payload: payload,
+	}
+	for _, fn := range m.recvTaps {
+		fn(rx)
+	}
+}
+
+// Unicast transmits payload from one node to another. Delivery succeeds if
+// the receiver is within Range when the transmission completes and the loss
+// coin does not fire. Returns the scheduled delivery time.
+func (m *Medium) Unicast(from, to NodeID, payload any, size int) float64 {
+	m.counters.UnicastsSent++
+	if m.compromised[from] {
+		m.counters.DroppedCompromised++
+		return m.eng.Now()
+	}
+	m.counters.TxBytes += uint64(size)
+	m.txByNode[from]++
+	m.notifySend(from, to, payload, size)
+	at := m.eng.Now() + m.txDelay(size)
+	m.eng.At(at, func() {
+		now := m.eng.Now()
+		pf := m.mob.Position(int(from), now)
+		pt := m.mob.Position(int(to), now)
+		if pf.Dist(pt) > m.par.Range {
+			m.counters.DroppedRange++
+			return
+		}
+		if m.src.Bernoulli(m.par.LossRate) {
+			m.counters.DroppedLoss++
+			return
+		}
+		m.counters.Delivered++
+		m.counters.RxBytes += uint64(size)
+		m.notifyRecv(from, to, payload, size)
+		if h := m.handlers[to]; h != nil {
+			h(from, payload, size)
+		}
+	})
+	return at
+}
+
+// Broadcast transmits payload to every node within Range of the sender at
+// delivery time (one-hop local broadcast). Returns the delivery time.
+func (m *Medium) Broadcast(from NodeID, payload any, size int) float64 {
+	m.counters.BroadcastsSent++
+	if m.compromised[from] {
+		m.counters.DroppedCompromised++
+		return m.eng.Now()
+	}
+	m.counters.TxBytes += uint64(size)
+	m.txByNode[from]++
+	m.notifySend(from, BroadcastID, payload, size)
+	at := m.eng.Now() + m.txDelay(size)
+	m.eng.At(at, func() {
+		now := m.eng.Now()
+		pf := m.mob.Position(int(from), now)
+		for id := range m.handlers {
+			if NodeID(id) == from {
+				continue
+			}
+			pt := m.mob.Position(id, now)
+			if pf.Dist(pt) > m.par.Range {
+				continue
+			}
+			if m.src.Bernoulli(m.par.LossRate) {
+				m.counters.DroppedLoss++
+				continue
+			}
+			m.counters.Delivered++
+			m.counters.RxBytes += uint64(size)
+			m.notifyRecv(from, NodeID(id), payload, size)
+			if h := m.handlers[id]; h != nil {
+				h(from, payload, size)
+			}
+		}
+	})
+	return at
+}
+
+// helloTime returns the timestamp of the most recent hello beacon: neighbor
+// tables reflect positions as of this instant.
+func (m *Medium) helloTime() float64 {
+	now := m.eng.Now()
+	ticks := float64(int(now / m.par.HelloInterval))
+	return ticks * m.par.HelloInterval
+}
+
+// Neighbor is one neighbor-table entry: the neighbor id and its position as
+// advertised in its last hello beacon.
+type Neighbor struct {
+	ID  NodeID
+	Pos geo.Point
+}
+
+// Neighbors returns id's neighbor table: all nodes within Range at the last
+// hello tick, with their beaconed (possibly stale) positions. The querying
+// node's own position is also taken at the beacon time, mirroring how real
+// tables pair two beacon snapshots. Queries within one tick share a cached
+// position snapshot and spatial grid.
+func (m *Medium) Neighbors(id NodeID) []Neighbor {
+	t := m.helloTime()
+	if !m.beacons.valid || m.beacons.tick != t {
+		m.beacons.build(m, t)
+	}
+	self := m.beacons.pos[id]
+	var out []Neighbor
+	m.beacons.around(self, func(other NodeID, p geo.Point) {
+		if other == id {
+			return
+		}
+		if self.Dist(p) <= m.par.Range {
+			out = append(out, Neighbor{ID: other, Pos: p})
+		}
+	})
+	return out
+}
+
+// TruePosition returns a node's actual position at time t (for metrics and
+// adversary models, which observe physics rather than beacons).
+func (m *Medium) TruePosition(id NodeID, t float64) geo.Point {
+	return m.mob.Position(int(id), t)
+}
+
+// NodesWithin returns all node ids whose true current position lies in zone.
+func (m *Medium) NodesWithin(zone geo.Rect) []NodeID {
+	now := m.eng.Now()
+	var out []NodeID
+	for id := 0; id < m.mob.N(); id++ {
+		if zone.Contains(m.mob.Position(id, now)) {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// ClosestToPoint returns the node closest to p right now and its distance.
+func (m *Medium) ClosestToPoint(p geo.Point) (NodeID, float64) {
+	id, d := mobility.Nearest(m.mob, p, m.eng.Now())
+	return NodeID(id), d
+}
+
+// Engine exposes the simulation engine (protocols schedule timers on it).
+func (m *Medium) Engine() *sim.Engine { return m.eng }
+
+// Mobility exposes the underlying mobility model.
+func (m *Medium) Mobility() mobility.Model { return m.mob }

@@ -1,0 +1,172 @@
+// Package metrics collects the evaluation quantities of Section 5.2:
+// actual participating nodes, random-forwarder counts, hops per packet,
+// latency per packet, and delivery rate. Protocols record per-packet events
+// into a Collector; the experiment harness aggregates over runs.
+package metrics
+
+import (
+	"alertmanet/internal/medium"
+)
+
+// PacketRecord traces one application packet end to end.
+type PacketRecord struct {
+	// Seq is the collector-assigned sequence number.
+	Seq int
+	// Src and Dst identify the S-D pair.
+	Src, Dst medium.NodeID
+	// SentAt is when the source issued the packet; DeliveredAt when the
+	// destination received it (0 and Delivered=false if it never did).
+	SentAt, DeliveredAt float64
+	// Hops counts transmissions the packet traversed (including the
+	// final broadcast leg, counted as one hop per the paper's
+	// "accumulated routing hop counts").
+	Hops int
+	// RFs counts ALERT random forwarders on the path (0 for baselines).
+	RFs int
+	// Delivered reports whether the destination got the packet.
+	Delivered bool
+	// Path lists every node that held or received the packet.
+	Path []medium.NodeID
+}
+
+// Latency returns the packet's end-to-end delay, or 0 if undelivered.
+func (r *PacketRecord) Latency() float64 {
+	if !r.Delivered {
+		return 0
+	}
+	return r.DeliveredAt - r.SentAt
+}
+
+// Collector accumulates packet records and derived aggregates for one run.
+type Collector struct {
+	records []*PacketRecord
+	// participants is the cumulative set of nodes that took part in any
+	// routing so far ("actual participating nodes", Fig. 10).
+	participants map[medium.NodeID]struct{}
+	// cumulative[i] is the participant-set size after packet i completed
+	// (delivered or dropped).
+	cumulative []int
+	// ExtraHops accrues protocol overhead hops not tied to one packet,
+	// e.g. ALARM's periodic identity dissemination (Fig. 15).
+	ExtraHops uint64
+	completed int
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{participants: make(map[medium.NodeID]struct{})}
+}
+
+// Start opens a record for a new application packet.
+func (c *Collector) Start(src, dst medium.NodeID, now float64) *PacketRecord {
+	r := &PacketRecord{Seq: len(c.records), Src: src, Dst: dst, SentAt: now}
+	c.records = append(c.records, r)
+	return r
+}
+
+// AddParticipant marks a node as having taken part in routing.
+func (c *Collector) AddParticipant(id medium.NodeID) {
+	c.participants[id] = struct{}{}
+}
+
+// AddPath marks every node on a path as a participant.
+func (c *Collector) AddPath(path []medium.NodeID) {
+	for _, id := range path {
+		c.participants[id] = struct{}{}
+	}
+}
+
+// Complete finalizes a record (delivered or not) and snapshots the
+// cumulative participant count. Participating nodes are the forwarders and
+// random forwarders on the path — the endpoints themselves are not counted,
+// matching the paper's "RFs and relay nodes that actually participate in
+// routing" (GPSR's stable shortest path then shows its characteristic 2-3
+// participants in Fig. 10b).
+func (c *Collector) Complete(r *PacketRecord, deliveredAt float64, delivered bool) {
+	r.Delivered = delivered
+	if delivered {
+		r.DeliveredAt = deliveredAt
+	}
+	for _, id := range r.Path {
+		if id != r.Src && id != r.Dst {
+			c.participants[id] = struct{}{}
+		}
+	}
+	c.completed++
+	c.cumulative = append(c.cumulative, len(c.participants))
+}
+
+// Records returns all packet records.
+func (c *Collector) Records() []*PacketRecord { return c.records }
+
+// Sent returns how many packets were issued.
+func (c *Collector) Sent() int { return len(c.records) }
+
+// Completed returns how many packets finished (delivered or dropped).
+func (c *Collector) Completed() int { return c.completed }
+
+// DeliveryRate returns delivered / sent (0 for no packets).
+func (c *Collector) DeliveryRate() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	d := 0
+	for _, r := range c.records {
+		if r.Delivered {
+			d++
+		}
+	}
+	return float64(d) / float64(len(c.records))
+}
+
+// MeanLatency returns the average end-to-end delay over delivered packets.
+func (c *Collector) MeanLatency() float64 {
+	sum, n := 0.0, 0
+	for _, r := range c.records {
+		if r.Delivered {
+			sum += r.Latency()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// HopsPerPacket returns accumulated hop counts divided by packets sent
+// (the paper's metric 4), including ExtraHops overhead.
+func (c *Collector) HopsPerPacket() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	total := float64(c.ExtraHops)
+	for _, r := range c.records {
+		total += float64(r.Hops)
+	}
+	return total / float64(len(c.records))
+}
+
+// MeanRFs returns the average number of random forwarders per packet.
+func (c *Collector) MeanRFs() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, r := range c.records {
+		sum += r.RFs
+	}
+	return float64(sum) / float64(len(c.records))
+}
+
+// Participants returns the cumulative number of distinct nodes that have
+// taken part in routing.
+func (c *Collector) Participants() int { return len(c.participants) }
+
+// CumulativeParticipants returns the participant-set size after each
+// completed packet, i.e. the series plotted in Fig. 10a.
+func (c *Collector) CumulativeParticipants() []int {
+	out := make([]int, len(c.cumulative))
+	copy(out, c.cumulative)
+	return out
+}

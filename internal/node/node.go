@@ -1,0 +1,174 @@
+// Package node assembles the per-node runtime state every routing protocol
+// in this repository builds on: a stable internal id, a MAC address, a
+// rotating pseudonym (Section 2.2), a public/private key pair, and access
+// to the shared simulation substrates (engine, channel, mobility, crypto
+// suite and cost model).
+package node
+
+import (
+	"alertmanet/internal/crypt"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/rng"
+	"alertmanet/internal/sim"
+)
+
+// Node is one participant in the MANET.
+type Node struct {
+	// ID is the dense simulation index (also the medium.NodeID).
+	ID medium.NodeID
+	// MAC is the node's real hardware address; it never appears in
+	// packets — only pseudonyms derived from it do.
+	MAC uint64
+	// Pseudonym is the node's current temporary identifier.
+	Pseudonym crypt.Pseudonym
+	// RegisteredPseudonym is the pseudonym the node most recently
+	// registered with its location service; destinations keep accepting
+	// packets addressed to it even after local rotation, since sources
+	// learned it from the service (Section 2.2).
+	RegisteredPseudonym crypt.Pseudonym
+	// Pub and Priv are the node's key pair, distributed through the
+	// location service.
+	Pub  crypt.PubKey
+	Priv crypt.PrivKey
+
+	net *Network
+	rnd *rng.Source
+	// PseudonymUpdates counts rotations, for the f << F overhead
+	// analysis of Section 4.3.
+	PseudonymUpdates int
+}
+
+// CryptoOps tallies cryptographic operations across the network, feeding
+// the energy accounting (public-key operations cost hundreds of times a
+// symmetric one, per the paper's reference [26]).
+type CryptoOps struct {
+	Sym uint64
+	Pub uint64
+}
+
+// Network bundles the substrates of one simulated MANET and owns its nodes.
+type Network struct {
+	Eng   *sim.Engine
+	Med   *medium.Medium
+	Suite crypt.Suite
+	Costs crypt.CostModel
+	Nodes []*Node
+	// Ops counts cryptographic operations performed by all nodes.
+	Ops CryptoOps
+
+	rnd *rng.Source
+}
+
+// Config controls node-level behaviour.
+type Config struct {
+	// PseudonymLifetime is how often nodes rotate pseudonyms, seconds.
+	// Too frequent perturbs routing, too infrequent lets an adversary
+	// associate pseudonyms with nodes (Section 2.2). Zero disables
+	// rotation after the initial assignment.
+	PseudonymLifetime float64
+}
+
+// DefaultConfig rotates pseudonyms every 10 seconds.
+func DefaultConfig() Config { return Config{PseudonymLifetime: 10} }
+
+// NewNetwork creates the nodes on top of an existing engine and medium,
+// assigns MAC addresses, key pairs and initial pseudonyms, and schedules
+// pseudonym rotation.
+func NewNetwork(eng *sim.Engine, med *medium.Medium, suite crypt.Suite,
+	costs crypt.CostModel, cfg Config, src *rng.Source) *Network {
+	net := &Network{
+		Eng:   eng,
+		Med:   med,
+		Suite: suite,
+		Costs: costs,
+		rnd:   src.Split("node"),
+	}
+	n := med.N()
+	net.Nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			ID:  medium.NodeID(i),
+			MAC: 0x02_00_00_00_00_00 | uint64(i), // locally-administered space
+			net: net,
+			rnd: net.rnd.SplitIndex("n", i),
+		}
+		nd.Pub, nd.Priv = suite.GenerateKeyPair(i)
+		nd.rotatePseudonym()
+		net.Nodes[i] = nd
+	}
+	if cfg.PseudonymLifetime > 0 {
+		for _, nd := range net.Nodes {
+			nd := nd
+			// Desynchronize rotations so they don't all fire at once.
+			start := nd.rnd.Uniform(0, cfg.PseudonymLifetime)
+			eng.Ticker(start, cfg.PseudonymLifetime, func(sim.Time) {
+				nd.rotatePseudonym()
+			})
+		}
+	}
+	return net
+}
+
+func (n *Node) rotatePseudonym() {
+	n.Pseudonym = crypt.NewPseudonym(n.MAC, n.net.Eng.Now(), n.rnd)
+	n.PseudonymUpdates++
+}
+
+// Position returns the node's true position now.
+func (n *Node) Position() geo.Point { return n.net.Med.PositionNow(n.ID) }
+
+// PositionAt returns the node's true position at time t.
+func (n *Node) PositionAt(t float64) geo.Point {
+	return n.net.Med.TruePosition(n.ID, t)
+}
+
+// Neighbors returns the node's (possibly stale) neighbor table.
+func (n *Node) Neighbors() []medium.Neighbor { return n.net.Med.Neighbors(n.ID) }
+
+// Rand returns the node's private random stream.
+func (n *Node) Rand() *rng.Source { return n.rnd }
+
+// Network returns the network the node belongs to.
+func (n *Node) Network() *Network { return n.net }
+
+// Node returns the node with the given id.
+func (net *Network) Node(id medium.NodeID) *Node { return net.Nodes[id] }
+
+// N returns the number of nodes.
+func (net *Network) N() int { return len(net.Nodes) }
+
+// Field returns the network area.
+func (net *Network) Field() geo.Rect { return net.Med.Mobility().Field() }
+
+// Rand returns the network-level random stream.
+func (net *Network) Rand() *rng.Source { return net.rnd }
+
+// ChargeSym schedules fn after one symmetric-encryption charge; protocols
+// call these helpers so every cryptographic operation consistently costs
+// simulated time.
+func (net *Network) ChargeSym(fn func()) {
+	net.Ops.Sym++
+	net.Eng.Schedule(net.Costs.SymEncrypt, fn)
+}
+
+// ChargePub schedules fn after one public-key-operation charge.
+func (net *Network) ChargePub(fn func()) {
+	net.Ops.Pub++
+	net.Eng.Schedule(net.Costs.PubEncrypt, fn)
+}
+
+// NoteSym records n symmetric operations for energy accounting (used by
+// protocols that schedule their own combined charges).
+func (net *Network) NoteSym(n int) { net.Ops.Sym += uint64(n) }
+
+// NotePub records n public-key operations for energy accounting.
+func (net *Network) NotePub(n int) { net.Ops.Pub += uint64(n) }
+
+// ChargeN schedules fn after n charges of the given per-op cost.
+func (net *Network) ChargeN(n int, perOp float64, fn func()) {
+	if n < 0 {
+		n = 0
+	}
+	net.Eng.Schedule(float64(n)*perOp, fn)
+}

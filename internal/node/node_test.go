@@ -1,0 +1,177 @@
+package node
+
+import (
+	"testing"
+
+	"alertmanet/internal/crypt"
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/mobility"
+	"alertmanet/internal/rng"
+	"alertmanet/internal/sim"
+)
+
+var field = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+
+func newTestNetwork(t *testing.T, n int, cfg Config) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine()
+	src := rng.New(99)
+	mob := mobility.NewRandomWaypoint(field, n, mobility.Fixed(2), src)
+	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	suite := crypt.NewFastSuite(src)
+	net := NewNetwork(eng, med, suite, crypt.DefaultCostModel(), cfg, src)
+	return eng, net
+}
+
+func TestNetworkSetup(t *testing.T) {
+	_, net := newTestNetwork(t, 10, DefaultConfig())
+	if net.N() != 10 {
+		t.Fatalf("N = %d", net.N())
+	}
+	if net.Field() != field {
+		t.Fatal("field wrong")
+	}
+	seenMAC := map[uint64]bool{}
+	seenPseud := map[crypt.Pseudonym]bool{}
+	for _, nd := range net.Nodes {
+		if nd.Pub == nil || nd.Priv == nil {
+			t.Fatal("node missing keys")
+		}
+		if nd.Pub.Owner() != int(nd.ID) {
+			t.Fatal("key owner mismatch")
+		}
+		if seenMAC[nd.MAC] {
+			t.Fatal("duplicate MAC")
+		}
+		seenMAC[nd.MAC] = true
+		if nd.Pseudonym.IsZero() {
+			t.Fatal("node has no pseudonym")
+		}
+		if seenPseud[nd.Pseudonym] {
+			t.Fatal("pseudonym collision at startup")
+		}
+		seenPseud[nd.Pseudonym] = true
+	}
+}
+
+func TestPseudonymRotation(t *testing.T) {
+	eng, net := newTestNetwork(t, 5, Config{PseudonymLifetime: 10})
+	initial := make([]crypt.Pseudonym, 5)
+	for i, nd := range net.Nodes {
+		initial[i] = nd.Pseudonym
+	}
+	eng.RunUntil(35)
+	for i, nd := range net.Nodes {
+		if nd.Pseudonym == initial[i] {
+			t.Fatalf("node %d pseudonym did not rotate in 35 s", i)
+		}
+		// 1 initial + at least 3 rotations in 35 s with lifetime 10.
+		if nd.PseudonymUpdates < 4 {
+			t.Fatalf("node %d has only %d updates", i, nd.PseudonymUpdates)
+		}
+	}
+}
+
+func TestRotationDisabled(t *testing.T) {
+	eng, net := newTestNetwork(t, 3, Config{PseudonymLifetime: 0})
+	p0 := net.Nodes[0].Pseudonym
+	eng.RunUntil(100)
+	if net.Nodes[0].Pseudonym != p0 {
+		t.Fatal("pseudonym rotated despite lifetime 0")
+	}
+	if net.Nodes[0].PseudonymUpdates != 1 {
+		t.Fatal("update count wrong")
+	}
+}
+
+func TestRotationsDesynchronized(t *testing.T) {
+	// Rotations should not all fire at the same instant; check the first
+	// rotation times differ across nodes by inspecting update counts at
+	// a mid-lifetime point.
+	eng, net := newTestNetwork(t, 20, Config{PseudonymLifetime: 10})
+	eng.RunUntil(5)
+	rotated := 0
+	for _, nd := range net.Nodes {
+		if nd.PseudonymUpdates > 1 {
+			rotated++
+		}
+	}
+	if rotated == 0 || rotated == 20 {
+		t.Fatalf("rotations synchronized: %d/20 rotated at t=5", rotated)
+	}
+}
+
+func TestPositionAccessors(t *testing.T) {
+	eng, net := newTestNetwork(t, 3, DefaultConfig())
+	nd := net.Nodes[1]
+	if !field.Contains(nd.Position()) {
+		t.Fatal("position outside field")
+	}
+	if nd.Position() != nd.PositionAt(eng.Now()) {
+		t.Fatal("Position and PositionAt(now) disagree")
+	}
+}
+
+func TestNeighborsAccessor(t *testing.T) {
+	_, net := newTestNetwork(t, 50, DefaultConfig())
+	nb := net.Nodes[0].Neighbors()
+	for _, n := range nb {
+		if n.ID == net.Nodes[0].ID {
+			t.Fatal("node neighbor of itself")
+		}
+	}
+}
+
+func TestChargeHelpers(t *testing.T) {
+	eng, net := newTestNetwork(t, 2, DefaultConfig())
+	var symAt, pubAt, nAt float64
+	net.ChargeSym(func() { symAt = eng.Now() })
+	net.ChargePub(func() { pubAt = eng.Now() })
+	net.ChargeN(4, 0.01, func() { nAt = eng.Now() })
+	eng.RunUntil(1)
+	if symAt != net.Costs.SymEncrypt {
+		t.Fatalf("sym charge fired at %v", symAt)
+	}
+	if pubAt != net.Costs.PubEncrypt {
+		t.Fatalf("pub charge fired at %v", pubAt)
+	}
+	if nAt != 0.04 {
+		t.Fatalf("N charge fired at %v", nAt)
+	}
+}
+
+func TestChargeNNegative(t *testing.T) {
+	eng, net := newTestNetwork(t, 2, DefaultConfig())
+	fired := false
+	net.ChargeN(-3, 0.01, func() { fired = true })
+	eng.RunUntil(1)
+	if !fired {
+		t.Fatal("negative n should clamp to zero, not panic or drop")
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	_, net := newTestNetwork(t, 4, DefaultConfig())
+	if net.Node(2) != net.Nodes[2] {
+		t.Fatal("Node lookup wrong")
+	}
+	if net.Node(2).Network() != net {
+		t.Fatal("Network backref wrong")
+	}
+}
+
+func TestCryptoOpCounters(t *testing.T) {
+	eng, net := newTestNetwork(t, 2, DefaultConfig())
+	net.ChargeSym(func() {})
+	net.ChargePub(func() {})
+	net.NoteSym(3)
+	net.NotePub(2)
+	eng.RunUntil(1)
+	if net.Ops.Sym != 4 {
+		t.Fatalf("Sym ops = %d, want 4", net.Ops.Sym)
+	}
+	if net.Ops.Pub != 3 {
+		t.Fatalf("Pub ops = %d, want 3", net.Ops.Pub)
+	}
+}

@@ -1,0 +1,225 @@
+// Package report renders the full evaluation — analytical curves,
+// simulation figures, attack experiments, energy and significance tests —
+// as one self-contained markdown document, so a fresh paper-vs-measured
+// appendix regenerates with a single command (cmd/report).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"alertmanet/internal/analysis"
+	"alertmanet/internal/experiment"
+)
+
+// Config controls report generation.
+type Config struct {
+	// Seeds is the number of independent runs per simulated data point
+	// (the paper uses 30; shapes stabilize by ~5).
+	Seeds int
+	// Sections limits the report to the named sections; empty means all.
+	// Valid names: analytical, figures, table1, attacks, energy, compare.
+	Sections []string
+}
+
+// DefaultConfig renders everything with 5 seeds.
+func DefaultConfig() Config { return Config{Seeds: 5} }
+
+func (c Config) wants(section string) bool {
+	if len(c.Sections) == 0 {
+		return true
+	}
+	for _, s := range c.Sections {
+		if s == section {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate writes the markdown report.
+func Generate(w io.Writer, cfg Config) error {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 5
+	}
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "# ALERT reproduction report\n\n")
+	fmt.Fprintf(bw, "Simulated data points averaged over %d seeded runs.\n\n", cfg.Seeds)
+
+	if cfg.wants("analytical") {
+		bw.section("Analytical figures (Section 4)")
+		times := []float64{0, 10, 20, 30, 40, 50}
+		mdSeries(bw, "Fig. 7a — possible participating nodes vs partitions (Eq. 7)",
+			analysis.Fig7aPossibleParticipants([]int{100, 200, 400}, 8, 1000))
+		mdSeries(bw, "Fig. 7b — expected random forwarders vs partitions (Eq. 10)",
+			[]analysis.Series{analysis.Fig7bExpectedRFs(8)})
+		mdSeries(bw, "Fig. 9a — remaining nodes vs time by density (Eq. 15, v=2)",
+			analysis.Fig9aRemainingNodes([]int{100, 200, 400}, 5, 1000, 2, times))
+		mdSeries(bw, "Fig. 9b — remaining nodes vs time by speed (Eq. 15, N=200)",
+			analysis.Fig9bRemainingNodes(200, 5, 1000, []float64{1, 2, 4}, times))
+	}
+
+	if cfg.wants("figures") {
+		bw.section("Simulation figures (Section 5)")
+		times := []float64{0, 10, 20, 30, 40, 50}
+		mdSeries(bw, "Fig. 10a — cumulative participating nodes vs packets",
+			experiment.Fig10a(20, cfg.Seeds))
+		mdSeries(bw, "Fig. 10b — participating nodes after 20 packets vs N",
+			experiment.Fig10b(20, cfg.Seeds))
+		mdSeries(bw, "Fig. 11 — random forwarders vs partitions (simulated)",
+			[]analysis.Series{experiment.Fig11(7, cfg.Seeds)})
+		mdSeries(bw, "Fig. 12 — remaining nodes vs time by density (H=5, v=2)",
+			experiment.Fig12(times, cfg.Seeds))
+		mdSeries(bw, "Fig. 13a — remaining nodes vs time by H and speed",
+			experiment.Fig13a(times, cfg.Seeds))
+		mdSeries(bw, "Fig. 13b — required density vs speed (4 remaining at t=10 s)",
+			[]analysis.Series{experiment.Fig13b(4, []float64{1, 2, 4, 6, 8}, cfg.Seeds)})
+		mdSeries(bw, "Fig. 14a — latency per packet (s) vs N",
+			experiment.Fig14a(cfg.Seeds))
+		mdSeries(bw, "Fig. 14b — latency per packet (s) vs speed",
+			experiment.Fig14b(cfg.Seeds))
+		mdSeries(bw, "Fig. 15a — hops per packet vs N",
+			experiment.Fig15a(cfg.Seeds))
+		mdSeries(bw, "Fig. 15b — hops per packet vs speed",
+			experiment.Fig15b(cfg.Seeds))
+		mdSeries(bw, "Fig. 16a — delivery rate vs N",
+			experiment.Fig16a(cfg.Seeds))
+		mdSeries(bw, "Fig. 16b — delivery rate vs speed",
+			experiment.Fig16b(cfg.Seeds))
+		mdSeries(bw, "Fig. 17 — ALERT delay (s) by movement model",
+			experiment.Fig17(cfg.Seeds))
+	}
+
+	if cfg.wants("table1") {
+		bw.section("Table 1 — protocol taxonomy")
+		fmt.Fprintf(bw, "```\n%s```\n\n", experiment.FormatTable1())
+	}
+
+	if cfg.wants("attacks") {
+		bw.section("Attack experiments (Sections 2.6, 3.1-3.3)")
+		fmt.Fprintf(bw, "| attack | without defence | with defence |\n|---|---|---|\n")
+		var plainD, guardD, plainX int
+		for s := int64(1); s <= int64(cfg.Seeds); s++ {
+			p := experiment.IntersectionAttack(s, 25, false)
+			g := experiment.IntersectionAttack(s, 25, true)
+			if p.DstCandidate {
+				plainD++
+			}
+			if p.Exposed {
+				plainX++
+			}
+			if g.DstCandidate {
+				guardD++
+			}
+		}
+		fmt.Fprintf(bw, "| intersection | D candidate %d/%d, identified %d/%d | D candidate %d/%d |\n",
+			plainD, cfg.Seeds, plainX, cfg.Seeds, guardD, cfg.Seeds)
+		with := experiment.SourceAnonymity(1, true)
+		without := experiment.SourceAnonymity(1, false)
+		fmt.Fprintf(bw, "| notify-and-go set | %d transmitters | %d transmitters (η=%d) |\n",
+			without.AnonymitySet, with.AnonymitySet, with.Neighbors)
+		fmt.Fprintf(bw, "| source triangulation | %.0f m error | %.0f m error |\n",
+			experiment.SourceLocationError(1, false), experiment.SourceLocationError(1, true))
+		fmt.Fprintf(bw, "| timing correlation | GPSR %.2f | ALERT %.2f |\n",
+			experiment.TimingAttackScore(1, experiment.GPSR, 20),
+			experiment.TimingAttackScore(1, experiment.ALERT, 20))
+		fmt.Fprintf(bw, "| interception (3 relays) | GPSR %.0f%% | ALERT %.0f%% |\n",
+			experiment.InterceptionExperiment(1, experiment.GPSR, 20, 3)*100,
+			experiment.InterceptionExperiment(1, experiment.ALERT, 20, 3)*100)
+		gd := experiment.DoSAttack(1, experiment.GPSR, 20, 3)
+		ad := experiment.DoSAttack(1, experiment.ALERT, 20, 3)
+		fmt.Fprintf(bw, "| DoS (3 sink relays) | GPSR %.0f%%→%.0f%% | ALERT %.0f%%→%.0f%% |\n\n",
+			gd.BaselineDelivery*100, gd.UnderAttackDelivery*100,
+			ad.BaselineDelivery*100, ad.UnderAttackDelivery*100)
+	}
+
+	if cfg.wants("energy") {
+		bw.section("Energy per delivered packet")
+		fmt.Fprintf(bw, "| protocol | mJ/packet |\n|---|---|\n")
+		for _, p := range []experiment.ProtocolName{
+			experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
+		} {
+			var e float64
+			for s := 1; s <= cfg.Seeds; s++ {
+				sc := experiment.DefaultScenario()
+				sc.Seed = int64(s)
+				sc.Protocol = p
+				sc.Duration = 40
+				e += experiment.Run(sc).EnergyPerDelivered
+			}
+			fmt.Fprintf(bw, "| %s | %.2f |\n", p, e/float64(cfg.Seeds)*1e3)
+		}
+		fmt.Fprintln(bw)
+	}
+
+	if cfg.wants("compare") {
+		bw.section("Pairwise significance (Welch's t-test, 95%)")
+		fmt.Fprintf(bw, "| metric | A | mean A | B | mean B | t | significant |\n")
+		fmt.Fprintf(bw, "|---|---|---|---|---|---|---|\n")
+		for _, c := range experiment.CompareProtocols([]experiment.ProtocolName{
+			experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
+		}, cfg.Seeds, 40) {
+			fmt.Fprintf(bw, "| %s | %s | %.4f | %s | %.4f | %.2f | %v |\n",
+				c.Metric, c.A, c.MeanA, c.B, c.MeanB, c.Welch.T, c.Welch.Significant)
+		}
+		fmt.Fprintln(bw)
+	}
+
+	return bw.err
+}
+
+// mdSeries renders a set of same-grid series as a markdown table.
+func mdSeries(w io.Writer, title string, series []analysis.Series) {
+	fmt.Fprintf(w, "### %s\n\n", title)
+	if len(series) == 0 {
+		fmt.Fprintf(w, "(no data)\n\n")
+		return
+	}
+	fmt.Fprint(w, "| x |")
+	for _, s := range series {
+		fmt.Fprintf(w, " %s |", strings.ReplaceAll(s.Label, "|", "\\|"))
+	}
+	fmt.Fprint(w, "\n|---|")
+	for range series {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].X {
+		fmt.Fprintf(w, "| %g |", series[0].X[i])
+		for _, s := range series {
+			if i >= len(s.Y) {
+				fmt.Fprint(w, " |")
+				continue
+			}
+			if s.Err != nil && i < len(s.Err) && s.Err[i] > 0 {
+				fmt.Fprintf(w, " %.4f ± %.4f |", s.Y[i], s.Err[i])
+			} else {
+				fmt.Fprintf(w, " %.4f |", s.Y[i])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// errWriter tracks the first write error so Generate can stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, nil
+}
+
+func (e *errWriter) section(title string) {
+	fmt.Fprintf(e, "## %s\n\n", title)
+}

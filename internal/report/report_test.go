@@ -1,0 +1,96 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAnalyticalOnly(t *testing.T) {
+	var sb strings.Builder
+	cfg := Config{Seeds: 1, Sections: []string{"analytical"}}
+	if err := Generate(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# ALERT reproduction report",
+		"Fig. 7a", "Fig. 7b", "Fig. 9a", "Fig. 9b",
+		"| x |", "N=200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Fig. 14a") {
+		t.Fatal("section filter leaked the simulation figures")
+	}
+}
+
+func TestGenerateAttacksAndEnergy(t *testing.T) {
+	var sb strings.Builder
+	cfg := Config{Seeds: 1, Sections: []string{"attacks", "energy", "table1"}}
+	if err := Generate(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"intersection", "notify-and-go", "timing correlation",
+		"Energy per delivered packet", "| alert |",
+		"Table 1", "ANODR",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestGenerateZeroSeedsDefaults(t *testing.T) {
+	var sb strings.Builder
+	// Zero seeds must not panic or divide by zero; it defaults.
+	if err := Generate(&sb, Config{Sections: []string{"table1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Fatal("empty report")
+	}
+}
+
+// failAfter errors after n bytes to exercise error propagation.
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.n -= len(p)
+	if f.n < 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestGeneratePropagatesWriteError(t *testing.T) {
+	err := Generate(&failAfter{n: 10}, Config{Seeds: 1, Sections: []string{"table1"}})
+	if err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestGenerateFiguresSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figures section runs full simulations")
+	}
+	var sb strings.Builder
+	if err := Generate(&sb, Config{Seeds: 1, Sections: []string{"figures"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Fig. 10a", "Fig. 11", "Fig. 13b", "Fig. 14a", "Fig. 15a",
+		"Fig. 16b", "Fig. 17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figures section missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(2.5, func() { at = e.Now() })
+	e.Run()
+	if at != 2.5 {
+		t.Fatalf("event saw clock %v, want 2.5", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(1, func() { fired = true })
+	e.Cancel(id)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and cancel-after-run are no-ops.
+	e.Cancel(id)
+	if e.Pending() != 0 {
+		t.Fatal("pending count wrong after cancel")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	ids := make([]EventID, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		ids[i] = e.Schedule(Time(i), func() { fired = append(fired, i) })
+	}
+	e.Cancel(ids[4])
+	e.Cancel(ids[7])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatal("remaining events did not run")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock should advance to 10, got %v", e.Now())
+	}
+}
+
+func TestRunUntilInclusive(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(2, func() { fired = true })
+	e.RunUntil(2)
+	if !fired {
+		t.Fatal("event at exactly the horizon must fire")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay should panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past should panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	stop := e.Ticker(1, 2, func(now Time) { ticks = append(ticks, now) })
+	e.Schedule(7.5, stop)
+	e.RunUntil(20)
+	want := []Time{1, 3, 5, 7}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerZeroIntervalPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval must panic")
+		}
+	}()
+	e.Ticker(0, 0, func(Time) {})
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("processed = %d", e.Processed())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine should return false")
+	}
+}
+
+// Property: with arbitrary delays, events fire in nondecreasing time order
+// and the engine processes all of them.
+func TestQuickEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d)
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		return e.Pending() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(delays []uint8, mask []bool) bool {
+		e := NewEngine()
+		fired := map[int]bool{}
+		ids := make([]EventID, len(delays))
+		for i, d := range delays {
+			i := i
+			ids[i] = e.Schedule(Time(d), func() { fired[i] = true })
+		}
+		cancelled := map[int]bool{}
+		for i := range delays {
+			if i < len(mask) && mask[i] {
+				e.Cancel(ids[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := range delays {
+			if cancelled[i] == fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97)+0.5, func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkTickerChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		stop := e.Ticker(0.5, 1, func(Time) {})
+		e.RunUntil(1000)
+		stop()
+	}
+}

@@ -1,0 +1,128 @@
+// SVG rendering of routes: the publication-grade counterpart of the ASCII
+// RouteMap, with nodes, the hop-ordered route polyline, the destination
+// zone, and endpoint markers. Pure stdlib string building — the output
+// opens in any browser.
+
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+)
+
+// SVGOptions tunes RouteSVG.
+type SVGOptions struct {
+	// Width is the image width in pixels; height follows the field's
+	// aspect ratio. Default 640.
+	Width int
+	// Title is an optional caption rendered at the top.
+	Title string
+}
+
+// RouteSVG renders a packet's journey as an SVG document: light dots for
+// every node, a polyline through the route in hop order, the destination
+// zone as a dashed rectangle, and S/D markers.
+func RouteSVG(field geo.Rect, positions []geo.Point, path []medium.NodeID,
+	src, dst medium.NodeID, zd geo.Rect, opt SVGOptions) string {
+	w := opt.Width
+	if w <= 0 {
+		w = 640
+	}
+	h := int(float64(w) * field.Height() / field.Width())
+	sx := func(x float64) float64 {
+		return (x - field.Min.X) / field.Width() * float64(w)
+	}
+	sy := func(y float64) float64 {
+		// SVG y grows downward; field y grows upward.
+		return float64(h) - (y-field.Min.Y)/field.Height()*float64(h)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		w, h, w, h)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#fcfcf7" stroke="#555"/>`, w, h)
+	b.WriteString("\n")
+
+	// Destination zone.
+	fmt.Fprintf(&b,
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#fde8e8" stroke="#c0392b" stroke-dasharray="6,4"/>`,
+		sx(zd.Min.X), sy(zd.Max.Y),
+		zd.Width()/field.Width()*float64(w),
+		zd.Height()/field.Height()*float64(h))
+	b.WriteString("\n")
+
+	// All nodes.
+	for _, p := range positions {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="#bbb"/>`, sx(p.X), sy(p.Y))
+		b.WriteString("\n")
+	}
+
+	// The route polyline (deduplicated consecutive holders).
+	var pts []geo.Point
+	var last medium.NodeID = -1
+	for _, id := range path {
+		if id == last || int(id) >= len(positions) {
+			continue
+		}
+		last = id
+		pts = append(pts, positions[id])
+	}
+	if len(pts) > 1 {
+		b.WriteString(`<polyline fill="none" stroke="#2471a3" stroke-width="2" points="`)
+		for _, p := range pts {
+			fmt.Fprintf(&b, "%.1f,%.1f ", sx(p.X), sy(p.Y))
+		}
+		b.WriteString(`"/>` + "\n")
+	}
+	// Numbered relays.
+	hop := 0
+	seen := map[medium.NodeID]bool{}
+	last = -1
+	for _, id := range path {
+		if id == last || id == src || id == dst || seen[id] || int(id) >= len(positions) {
+			last = id
+			continue
+		}
+		last = id
+		seen[id] = true
+		hop++
+		p := positions[id]
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="6" fill="#2471a3"/>`, sx(p.X), sy(p.Y))
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="8" fill="#fff" text-anchor="middle" dy="3">%d</text>`,
+			sx(p.X), sy(p.Y), hop)
+		b.WriteString("\n")
+	}
+
+	// Endpoints.
+	marker := func(id medium.NodeID, label, color string) {
+		if int(id) >= len(positions) {
+			return
+		}
+		p := positions[id]
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="8" fill="%s"/>`, sx(p.X), sy(p.Y), color)
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#fff" text-anchor="middle" dy="3.5">%s</text>`,
+			sx(p.X), sy(p.Y), label)
+		b.WriteString("\n")
+	}
+	marker(src, "S", "#1e8449")
+	marker(dst, "D", "#c0392b")
+
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="8" y="16" font-size="13" fill="#333">%s</text>`,
+			escapeXML(opt.Title))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

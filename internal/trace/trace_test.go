@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+	"alertmanet/internal/mobility"
+	"alertmanet/internal/rng"
+	"alertmanet/internal/sim"
+)
+
+var field = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
+
+func TestCanvasBasics(t *testing.T) {
+	c := NewCanvas(field, 20, 10)
+	c.Mark(geo.Point{X: 0, Y: 0}, 'A')       // bottom-left
+	c.Mark(geo.Point{X: 1000, Y: 1000}, 'B') // top-right
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12 { // 10 rows + 2 borders
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Y axis flipped: B on the first content row, A on the last.
+	if !strings.Contains(lines[1], "B") {
+		t.Fatalf("top row missing B: %q", lines[1])
+	}
+	if !strings.Contains(lines[10], "A") {
+		t.Fatalf("bottom row missing A: %q", lines[10])
+	}
+}
+
+func TestCanvasOutOfFieldIgnored(t *testing.T) {
+	c := NewCanvas(field, 10, 10)
+	c.Mark(geo.Point{X: -5, Y: 50}, 'X')
+	if strings.Contains(c.String(), "X") {
+		t.Fatal("out-of-field mark drawn")
+	}
+}
+
+func TestMarkIfEmpty(t *testing.T) {
+	c := NewCanvas(field, 10, 10)
+	p := geo.Point{X: 500, Y: 500}
+	c.Mark(p, 'A')
+	c.MarkIfEmpty(p, 'B')
+	if !strings.Contains(c.String(), "A") || strings.Contains(c.String(), "B") {
+		t.Fatal("MarkIfEmpty overwrote")
+	}
+}
+
+func TestOutline(t *testing.T) {
+	c := NewCanvas(field, 40, 20)
+	c.Outline(geo.Rect{Min: geo.Point{X: 250, Y: 250}, Max: geo.Point{X: 750, Y: 750}}, '#')
+	if strings.Count(c.String(), "#") < 10 {
+		t.Fatal("outline barely drawn")
+	}
+}
+
+func TestDegenerateCanvasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewCanvas(field, 1, 1)
+}
+
+func TestRouteMap(t *testing.T) {
+	positions := []geo.Point{
+		{X: 100, Y: 100}, {X: 300, Y: 300}, {X: 500, Y: 500},
+		{X: 700, Y: 700}, {X: 900, Y: 900},
+	}
+	zd := geo.Rect{Min: geo.Point{X: 750, Y: 750}, Max: geo.Point{X: 1000, Y: 1000}}
+	out := RouteMap(field, positions, []medium.NodeID{0, 1, 2, 3, 4}, 0, 4, zd, 50, 25)
+	for _, want := range []string{"S", "D", "1", "2", "3", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("map missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHopGlyphs(t *testing.T) {
+	if hopGlyph(1) != '1' || hopGlyph(9) != '9' {
+		t.Fatal("digit glyphs wrong")
+	}
+	if hopGlyph(10) != 'a' || hopGlyph(35) != 'z' {
+		t.Fatal("letter glyphs wrong")
+	}
+	if hopGlyph(40) != '*' {
+		t.Fatal("overflow glyph wrong")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	eng := sim.NewEngine()
+	src := rng.New(1)
+	mob := mobility.NewStatic(field, 5, src)
+	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	for i := 0; i < 5; i++ {
+		med.Attach(medium.NodeID(i), func(medium.NodeID, any, int) {})
+	}
+	tl := Attach(med)
+	eng.At(1, func() { med.Unicast(0, 1, "a", 100) })
+	eng.At(2, func() { med.Broadcast(2, "b", 64) })
+	eng.Run()
+	evs := tl.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != "unicast" || evs[1].Kind != "broadcast" {
+		t.Fatalf("kinds = %v %v", evs[0].Kind, evs[1].Kind)
+	}
+	if evs[0].At > evs[1].At {
+		t.Fatal("events out of order")
+	}
+	win := tl.Window(1.5, 3)
+	if len(win) != 1 || win[0].Kind != "broadcast" {
+		t.Fatalf("window = %v", win)
+	}
+	txt := Format(evs)
+	if !strings.Contains(txt, "unicast") || !strings.Contains(txt, "-> *") {
+		t.Fatalf("format:\n%s", txt)
+	}
+}
+
+func TestRouteSVG(t *testing.T) {
+	positions := []geo.Point{
+		{X: 100, Y: 100}, {X: 300, Y: 300}, {X: 500, Y: 500},
+		{X: 700, Y: 700}, {X: 900, Y: 900},
+	}
+	zd := geo.Rect{Min: geo.Point{X: 750, Y: 750}, Max: geo.Point{X: 1000, Y: 1000}}
+	svg := RouteSVG(field, positions, []medium.NodeID{0, 1, 2, 3, 4}, 0, 4, zd,
+		SVGOptions{Title: `route <1> & "two"`})
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "stroke-dasharray",
+		">S</text>", ">D</text>", ">1</text>",
+		"route &lt;1&gt; &amp; &quot;two&quot;",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Default aspect ratio: square field -> square image.
+	if !strings.Contains(svg, `width="640" height="640"`) {
+		t.Fatal("default dimensions wrong")
+	}
+}
+
+func TestRouteSVGDegenerateInputs(t *testing.T) {
+	positions := []geo.Point{{X: 1, Y: 1}}
+	// Path referencing out-of-range ids must not panic.
+	svg := RouteSVG(field, positions, []medium.NodeID{0, 99}, 0, 99,
+		geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 10, Y: 10}},
+		SVGOptions{Width: 100})
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("no svg produced")
+	}
+	// Empty path.
+	svg = RouteSVG(field, positions, nil, 0, 0,
+		geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 10, Y: 10}},
+		SVGOptions{})
+	if strings.Contains(svg, "polyline") {
+		t.Fatal("polyline drawn for empty path")
+	}
+}
