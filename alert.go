@@ -8,14 +8,17 @@
 // This package is the public facade. Quick start:
 //
 //	cfg := alert.DefaultConfig()
-//	res := alert.Run(cfg)
+//	res, err := alert.Run(cfg)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Printf("delivery %.2f, latency %.1f ms\n",
 //		res.DeliveryRate, res.MeanLatencySeconds*1e3)
 //
 // For interactive control (send individual messages, observe deliveries,
 // mount attacks) build a Network:
 //
-//	net := alert.NewNetwork(cfg)
+//	net, err := alert.NewNetwork(cfg)
 //	net.OnDeliver(func(d alert.Delivery) { ... })
 //	net.Send(3, 117, []byte("hello"))
 //	net.RunFor(10) // simulated seconds
@@ -96,8 +99,12 @@ type Config struct {
 	Groups     int
 	GroupRange float64
 
-	// Duration is the simulated seconds of workload (100).
+	// Duration is the simulated seconds of workload (100). No traffic
+	// model sends after it; the run then drains for DrainSeconds.
 	Duration float64
+	// DrainSeconds is how long the run keeps executing after Duration so
+	// in-flight packets can finish (10 when zero).
+	DrainSeconds float64
 	// Pairs is the number of concurrent S-D pairs (10).
 	Pairs int
 	// IntervalSeconds is the mean packet interval per pair (2).
@@ -173,6 +180,9 @@ func (c Config) scenario() experiment.Scenario {
 	if c.Duration > 0 {
 		sc.Duration = c.Duration
 	}
+	if c.DrainSeconds > 0 {
+		sc.DrainTime = c.DrainSeconds
+	}
 	if c.Pairs > 0 {
 		sc.Pairs = c.Pairs
 	}
@@ -221,23 +231,19 @@ func RunPreset(name string, seed int64) (Result, error) {
 	}
 	sc := p.Scenario
 	sc.Seed = seed
-	r := experiment.Run(sc)
-	return Result{
-		PacketsSent:              r.Sent,
-		DeliveryRate:             r.DeliveryRate,
-		MeanLatencySeconds:       r.MeanLatency,
-		HopsPerPacket:            r.HopsPerPacket,
-		MeanRandomForwarders:     r.MeanRFs,
-		ParticipatingNodes:       r.Participants,
-		RouteSimilarity:          r.RouteJaccard,
-		EnergyPerDeliveredJoules: r.EnergyPerDelivered,
-	}, nil
+	r, err := experiment.Run(sc)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFrom(r), nil
 }
 
 // Result summarizes one run with the paper's metrics.
 type Result struct {
 	// PacketsSent is the number of application packets issued.
 	PacketsSent int
+	// PacketsDelivered is the exact number that arrived.
+	PacketsDelivered int
 	// DeliveryRate is delivered / sent (metric 6).
 	DeliveryRate float64
 	// MeanLatencySeconds is the average end-to-end delay including
@@ -260,11 +266,11 @@ type Result struct {
 	EnergyPerDeliveredJoules float64
 }
 
-// Run executes one full workload and returns its metrics.
-func Run(cfg Config) Result {
-	r := experiment.Run(cfg.scenario())
+// resultFrom converts an internal run result into the public Result.
+func resultFrom(r experiment.Result) Result {
 	return Result{
 		PacketsSent:              r.Sent,
+		PacketsDelivered:         r.Delivered,
 		DeliveryRate:             r.DeliveryRate,
 		MeanLatencySeconds:       r.MeanLatency,
 		HopsPerPacket:            r.HopsPerPacket,
@@ -273,6 +279,17 @@ func Run(cfg Config) Result {
 		RouteSimilarity:          r.RouteJaccard,
 		EnergyPerDeliveredJoules: r.EnergyPerDelivered,
 	}
+}
+
+// Run executes one full workload and returns its metrics. An invalid
+// configuration (unknown protocol, non-positive duration, ...) returns an
+// error rather than panicking.
+func Run(cfg Config) (Result, error) {
+	r, err := experiment.Run(cfg.scenario())
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFrom(r), nil
 }
 
 // Summary is a mean with spread over independent seeded runs.
@@ -297,8 +314,11 @@ type Aggregate struct {
 
 // RunSeeds runs the workload under `seeds` independent seeds (the paper
 // uses 30) and aggregates the metrics.
-func RunSeeds(cfg Config, seeds int) Aggregate {
-	a := experiment.RunSeeds(cfg.scenario(), seeds)
+func RunSeeds(cfg Config, seeds int) (Aggregate, error) {
+	a, err := experiment.RunSeeds(cfg.scenario(), seeds)
+	if err != nil {
+		return Aggregate{}, err
+	}
 	return Aggregate{
 		DeliveryRate:         sum(a.DeliveryRate),
 		MeanLatencySeconds:   sum(a.MeanLatency),
@@ -306,7 +326,7 @@ func RunSeeds(cfg Config, seeds int) Aggregate {
 		MeanRandomForwarders: sum(a.MeanRFs),
 		ParticipatingNodes:   sum(a.Participants),
 		RouteSimilarity:      sum(a.RouteJaccard),
-	}
+	}, nil
 }
 
 // Delivery reports one application-level delivery at the destination.
@@ -326,9 +346,13 @@ type Network struct {
 }
 
 // NewNetwork builds a simulated MANET from the config without starting any
-// traffic.
-func NewNetwork(cfg Config) *Network {
-	n := &Network{w: experiment.Build(cfg.scenario())}
+// traffic. An invalid configuration returns an error.
+func NewNetwork(cfg Config) (*Network, error) {
+	w, err := experiment.Build(cfg.scenario())
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{w: w}
 	if n.w.Alert != nil {
 		n.w.Alert.OnDeliver = func(src, dst medium.NodeID, seq int, data []byte, t float64) {
 			if n.onDeliver != nil {
@@ -338,7 +362,7 @@ func NewNetwork(cfg Config) *Network {
 			}
 		}
 	}
-	return n
+	return n, nil
 }
 
 // Nodes returns the network size.
@@ -414,16 +438,7 @@ func (n *Network) DestZone(id int) (minX, minY, maxX, maxY float64) {
 
 // Metrics returns the run's metrics so far.
 func (n *Network) Metrics() Result {
-	r := n.w.Collect(nil)
-	return Result{
-		PacketsSent:          r.Sent,
-		DeliveryRate:         r.DeliveryRate,
-		MeanLatencySeconds:   r.MeanLatency,
-		HopsPerPacket:        r.HopsPerPacket,
-		MeanRandomForwarders: r.MeanRFs,
-		ParticipatingNodes:   r.Participants,
-		RouteSimilarity:      r.RouteJaccard,
-	}
+	return resultFrom(n.w.Collect(nil))
 }
 
 // RouteMap renders an ASCII map (w x h characters) of the most recent

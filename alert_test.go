@@ -6,10 +6,30 @@ import (
 	"testing"
 )
 
+// mustRun and mustNet keep the facade tests terse now that Run and
+// NewNetwork return errors.
+func mustRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
 func TestRunDefault(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Duration = 30
-	res := Run(cfg)
+	res := mustRun(t, cfg)
 	if res.PacketsSent == 0 {
 		t.Fatal("no packets sent")
 	}
@@ -29,7 +49,7 @@ func TestRunBaselines(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Protocol = p
 		cfg.Duration = 20
-		res := Run(cfg)
+		res := mustRun(t, cfg)
 		if res.DeliveryRate < 0.9 {
 			t.Fatalf("%s delivery = %v", p, res.DeliveryRate)
 		}
@@ -42,7 +62,10 @@ func TestRunBaselines(t *testing.T) {
 func TestRunSeedsFacade(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Duration = 15
-	agg := RunSeeds(cfg, 2)
+	agg, err := RunSeeds(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if agg.DeliveryRate.N != 2 {
 		t.Fatalf("N = %d", agg.DeliveryRate.N)
 	}
@@ -56,7 +79,7 @@ func TestRunSeedsFacade(t *testing.T) {
 
 func TestNetworkInteractive(t *testing.T) {
 	cfg := DefaultConfig()
-	net := NewNetwork(cfg)
+	net := mustNet(t, cfg)
 	if net.Nodes() != 200 {
 		t.Fatalf("nodes = %d", net.Nodes())
 	}
@@ -98,7 +121,7 @@ func TestNetworkInteractive(t *testing.T) {
 }
 
 func TestNetworkSendValidation(t *testing.T) {
-	net := NewNetwork(DefaultConfig())
+	net := mustNet(t, DefaultConfig())
 	if err := net.Send(-1, 5, nil); err == nil {
 		t.Fatal("negative id accepted")
 	}
@@ -111,7 +134,7 @@ func TestNetworkSendValidation(t *testing.T) {
 }
 
 func TestNetworkDestZone(t *testing.T) {
-	net := NewNetwork(DefaultConfig())
+	net := mustNet(t, DefaultConfig())
 	minX, minY, maxX, maxY := net.DestZone(7)
 	if maxX <= minX || maxY <= minY {
 		t.Fatal("degenerate zone")
@@ -173,14 +196,14 @@ func TestGroupMobilityConfig(t *testing.T) {
 	cfg.Groups = 5
 	cfg.GroupRange = 200
 	cfg.Duration = 15
-	res := Run(cfg)
+	res := mustRun(t, cfg)
 	if res.PacketsSent == 0 {
 		t.Fatal("group mobility run sent nothing")
 	}
 }
 
 func TestRouteMap(t *testing.T) {
-	net := NewNetwork(DefaultConfig())
+	net := mustNet(t, DefaultConfig())
 	if net.RouteMap(60, 30) != "" {
 		t.Fatal("route map before any delivery should be empty")
 	}
@@ -211,7 +234,7 @@ func TestRouteMap(t *testing.T) {
 }
 
 func TestNetworkRequestReply(t *testing.T) {
-	net := NewNetwork(DefaultConfig())
+	net := mustNet(t, DefaultConfig())
 	net.OnRequest(func(dst int, query []byte) []byte {
 		return append([]byte("ack:"), query...)
 	})
@@ -247,7 +270,7 @@ func TestNetworkRequestReply(t *testing.T) {
 	if err := net.Request(2, 2, nil, nil); err == nil {
 		t.Fatal("self request accepted")
 	}
-	gpsrNet := NewNetwork(func() Config { c := DefaultConfig(); c.Protocol = GPSR; return c }())
+	gpsrNet := mustNet(t, func() Config { c := DefaultConfig(); c.Protocol = GPSR; return c }())
 	if err := gpsrNet.Request(0, 1, nil, nil); err == nil {
 		t.Fatal("request on GPSR accepted")
 	}
@@ -274,7 +297,7 @@ func TestWorkloadFacade(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Traffic = PoissonLoad
 	cfg.Duration = 20
-	r := Run(cfg)
+	r := mustRun(t, cfg)
 	if r.PacketsSent == 0 {
 		t.Fatal("poisson workload sent nothing")
 	}
@@ -284,7 +307,7 @@ func TestZAPFacade(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Protocol = ZAP
 	cfg.Duration = 20
-	r := Run(cfg)
+	r := mustRun(t, cfg)
 	if r.DeliveryRate < 0.85 {
 		t.Fatalf("ZAP delivery = %v", r.DeliveryRate)
 	}
@@ -305,7 +328,7 @@ func TestCoverageAndTriangulationFacades(t *testing.T) {
 }
 
 func TestRouteSVGFacade(t *testing.T) {
-	net := NewNetwork(DefaultConfig())
+	net := mustNet(t, DefaultConfig())
 	if net.RouteSVG(300, "t") != "" {
 		t.Fatal("svg before delivery should be empty")
 	}

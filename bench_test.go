@@ -195,7 +195,7 @@ func BenchmarkAblationK(b *testing.B) {
 				sc.Seed = int64(i + 1)
 				sc.Alert.K = k
 				sc.Duration = 30
-				r := experiment.Run(sc)
+				r := experiment.MustRun(sc)
 				hops += r.HopsPerPacket
 				rfs += r.MeanRFs
 			}
@@ -221,7 +221,7 @@ func BenchmarkAblationNotifyAndGo(b *testing.B) {
 				sc.Seed = int64(i + 1)
 				sc.Alert.NotifyAndGo = on
 				sc.Duration = 30
-				lat += experiment.Run(sc).MeanLatency
+				lat += experiment.MustRun(sc).MeanLatency
 			}
 			b.ReportMetric(lat/float64(b.N)*1e3, "ms/pkt")
 		})
@@ -244,7 +244,7 @@ func BenchmarkAblationIntersectionGuard(b *testing.B) {
 				sc.Seed = int64(i + 1)
 				sc.Alert.IntersectionGuard = on
 				sc.Duration = 30
-				r := experiment.Run(sc)
+				r := experiment.MustRun(sc)
 				lat += r.MeanLatency
 				del += r.DeliveryRate
 			}
@@ -267,7 +267,7 @@ func BenchmarkAblationHelloInterval(b *testing.B) {
 				sc.Speed = 8
 				sc.HelloInterval = interval
 				sc.Duration = 30
-				del += experiment.Run(sc).DeliveryRate
+				del += experiment.MustRun(sc).DeliveryRate
 			}
 			b.ReportMetric(del/float64(b.N), "delivery")
 		})
@@ -286,7 +286,7 @@ func BenchmarkProtocolThroughput(b *testing.B) {
 				sc := experiment.DefaultScenario()
 				sc.Seed = int64(i + 1)
 				sc.Protocol = p
-				sink = experiment.Run(sc)
+				sink = experiment.MustRun(sc)
 			}
 		})
 	}
@@ -337,7 +337,7 @@ func BenchmarkAblationPartitionOrder(b *testing.B) {
 				sc.Seed = int64(i + 1)
 				sc.Alert.FixedAxisPartition = fixed
 				sc.Duration = 30
-				r := experiment.Run(sc)
+				r := experiment.MustRun(sc)
 				hops += r.HopsPerPacket
 				del += r.DeliveryRate
 			}
@@ -398,7 +398,7 @@ func BenchmarkEnergyPerDelivered(b *testing.B) {
 				sc.Seed = int64(i + 1)
 				sc.Protocol = p
 				sc.Duration = 30
-				e += experiment.Run(sc).EnergyPerDelivered
+				e += experiment.MustRun(sc).EnergyPerDelivered
 			}
 			b.ReportMetric(e/float64(b.N)*1e3, "mJ/pkt")
 		})

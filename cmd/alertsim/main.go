@@ -26,7 +26,8 @@ func main() {
 		protocol   = flag.String("protocol", "alert", "protocol: alert, gpsr, alarm, ao2p, zap")
 		nodes      = flag.Int("nodes", 200, "number of nodes")
 		speed      = flag.Float64("speed", 2, "node speed in m/s")
-		duration   = flag.Float64("duration", 100, "simulated seconds")
+		duration   = flag.Float64("duration", 100, "simulated seconds of traffic")
+		drain      = flag.Float64("drain", 10, "extra seconds for in-flight packets to finish")
 		pairs      = flag.Int("pairs", 10, "S-D communication pairs")
 		interval   = flag.Float64("interval", 2, "seconds between packets per pair")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -73,6 +74,7 @@ func main() {
 	sc.N = *nodes
 	sc.Speed = *speed
 	sc.Duration = *duration
+	sc.DrainTime = *drain
 	sc.Pairs = *pairs
 	sc.Interval = *interval
 	sc.Mobility = experiment.MobilityName(*mobility)
@@ -92,11 +94,8 @@ func main() {
 	sc.Alert.NAKs = *naks
 	sc.Workload = experiment.WorkloadName(*workload)
 
-	switch sc.Protocol {
-	case experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
-		experiment.ZAP:
-	default:
-		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -111,8 +110,13 @@ func main() {
 	}
 
 	if *seeds <= 1 {
-		r := experiment.Run(sc)
+		r, err := experiment.Run(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("packets sent:          %d\n", r.Sent)
+		fmt.Printf("packets delivered:     %d\n", r.Delivered)
 		fmt.Printf("delivery rate:         %.4f\n", r.DeliveryRate)
 		fmt.Printf("latency per packet:    %.2f ms\n", r.MeanLatency*1e3)
 		fmt.Printf("hops per packet:       %.2f\n", r.HopsPerPacket)
@@ -123,7 +127,11 @@ func main() {
 		return
 	}
 
-	agg := experiment.RunSeeds(sc, *seeds)
+	agg, err := experiment.RunSeeds(sc, *seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("aggregated over %d runs (mean ± 95%% CI):\n", *seeds)
 	fmt.Printf("delivery rate:         %.4f ± %.4f\n", agg.DeliveryRate.Mean, agg.DeliveryRate.CI95)
 	fmt.Printf("latency per packet:    %.2f ± %.2f ms\n", agg.MeanLatency.Mean*1e3, agg.MeanLatency.CI95*1e3)
@@ -136,7 +144,11 @@ func main() {
 // printRouteMap runs one packet on a fresh copy of the scenario and renders
 // its route as an ASCII map (svgPath == "") or an SVG file.
 func printRouteMap(sc experiment.Scenario, svgPath string) {
-	w := experiment.Build(sc)
+	w, err := experiment.Build(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	pairs := w.ChoosePairs()[:1]
 	w.StartWorkload(pairs)
 	w.Eng.RunUntil(10)

@@ -149,7 +149,7 @@ func main() {
 				sc.Seed = int64(s)
 				sc.Protocol = p
 				sc.Duration = 40
-				e += experiment.Run(sc).EnergyPerDelivered
+				e += experiment.MustRun(sc).EnergyPerDelivered
 			}
 			fmt.Printf("  %-6s %8.2f mJ\n", p, e/float64(*seeds)*1e3)
 		}

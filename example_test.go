@@ -10,7 +10,10 @@ import (
 // derived partition depth H = log2(N/k).
 func ExampleDefaultConfig() {
 	cfg := alert.DefaultConfig()
-	net := alert.NewNetwork(cfg)
+	net, err := alert.NewNetwork(cfg)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("nodes:", net.Nodes())
 	fmt.Println("partitions H:", net.PartitionDepth())
 	minX, minY, maxX, maxY := net.DestZone(0)

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	alert "alertmanet"
 )
@@ -21,7 +22,10 @@ func main() {
 		cfg := alert.DefaultConfig()
 		cfg.Protocol = p
 		cfg.Duration = 60
-		res := alert.Run(cfg)
+		res, err := alert.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("   %-6s %.3f\n", p, res.RouteSimilarity)
 	}
 	fmt.Println()

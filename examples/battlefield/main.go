@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	alert "alertmanet"
 )
@@ -85,7 +86,10 @@ func main() {
 			cfg.GroupRange = m.rng
 		}
 		cfg.Duration = 60
-		res := alert.Run(cfg)
+		res, err := alert.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %s %.1f ms (delivery %.0f%%)\n",
 			m.label, res.MeanLatencySeconds*1e3, res.DeliveryRate*100)
 	}

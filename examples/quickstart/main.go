@@ -13,7 +13,10 @@ import (
 
 func main() {
 	cfg := alert.DefaultConfig() // the paper's setup: 1 km^2, 200 nodes, 2 m/s
-	net := alert.NewNetwork(cfg)
+	net, err := alert.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Pick a source and a destination on opposite sides of the field.
 	src, dst := farPair(net)

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	alert "alertmanet"
 )
@@ -23,7 +24,10 @@ func main() {
 	for _, p := range []alert.Protocol{alert.ALERT, alert.GPSR, alert.ALARM, alert.AO2P} {
 		cfg := alert.DefaultConfig()
 		cfg.Protocol = p
-		res := alert.Run(cfg)
+		res, err := alert.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-8s %9.1f%% %9.1f ms %10.2f %14.3f\n",
 			p, res.DeliveryRate*100, res.MeanLatencySeconds*1e3,
 			res.HopsPerPacket, res.RouteSimilarity)

@@ -36,7 +36,10 @@ func main() {
 		sc.Mobility = experiment.NS2Trace
 		sc.NS2TracePath = path
 		sc.Duration = 60
-		r := experiment.Run(sc)
+		r, err := experiment.Run(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-8s %9.1f%% %9.1f ms %10.2f %12.3f\n",
 			p, r.DeliveryRate*100, r.MeanLatency*1e3, r.HopsPerPacket, r.RouteJaccard)
 	}

@@ -42,8 +42,10 @@ func IntersectionAttack(seed int64, packets int, guard bool) IntersectionResult 
 	sc.Speed = 2
 	sc.Alert.IntersectionGuard = guard
 	sc.Alert.HoldRelease = 1.5
-	sc.Duration = float64(packets)*sc.Interval + 10
-	w := Build(sc)
+	// The send horizon covers the manual session; DrainTime lets the last
+	// packets finish, matching Run's policy.
+	sc.Duration = float64(packets) * sc.Interval
+	w := MustBuild(sc)
 
 	// One fixed pair makes the session worth attacking.
 	pairs := w.ChoosePairs()[:1]
@@ -75,7 +77,7 @@ func IntersectionAttack(seed int64, packets int, guard bool) IntersectionResult 
 		at := float64(i) * sc.Interval
 		w.Eng.At(at+0.01, func() { w.Proto.Send(s, d, []byte("session")) })
 	}
-	w.Eng.RunUntil(sc.Duration)
+	w.Drain()
 
 	// Intersect all observed sets.
 	var cand map[medium.NodeID]struct{}
@@ -121,7 +123,7 @@ func SourceAnonymity(seed int64, notifyAndGo bool) SourceAnonymityResult {
 	sc.Alert.NotifyAndGo = notifyAndGo
 	sc.Alert.NotifyT = 5e-3
 	sc.Alert.NotifyT0 = 20e-3
-	w := Build(sc)
+	w := MustBuild(sc)
 	pairs := w.ChoosePairs()[:1]
 	s, d := pairs[0].S, pairs[0].D
 	obs := adversary.NewObserver(w.Med, w.Med.PositionNow(s), w.Med.Params().Range)
@@ -143,8 +145,8 @@ func TimingAttackScore(seed int64, proto ProtocolName, packets int) float64 {
 	sc := DefaultScenario()
 	sc.Seed = seed
 	sc.Protocol = proto
-	sc.Duration = float64(packets)*sc.Interval + 10
-	w := Build(sc)
+	sc.Duration = float64(packets) * sc.Interval
+	w := MustBuild(sc)
 	pairs := w.ChoosePairs()[:1]
 	s, d := pairs[0].S, pairs[0].D
 
@@ -165,7 +167,7 @@ func TimingAttackScore(seed int64, proto ProtocolName, packets int) float64 {
 		at := float64(i) * sc.Interval
 		w.Eng.At(at+0.01, func() { w.Proto.Send(s, d, []byte("x")) })
 	}
-	w.Eng.RunUntil(sc.Duration)
+	w.Drain()
 	return corr.Score(2e-3)
 }
 
@@ -177,15 +179,15 @@ func InterceptionExperiment(seed int64, proto ProtocolName, packets, compromised
 	sc.Seed = seed
 	sc.Protocol = proto
 	sc.Mobility = Static // the attacker's best case: a frozen topology
-	sc.Duration = float64(packets)*sc.Interval + 10
-	w := Build(sc)
+	sc.Duration = float64(packets) * sc.Interval
+	w := MustBuild(sc)
 	pairs := w.ChoosePairs()[:1]
 	s, d := pairs[0].S, pairs[0].D
 	for i := 0; i < packets; i++ {
 		at := float64(i) * sc.Interval
 		w.Eng.At(at+0.01, func() { w.Proto.Send(s, d, []byte("x")) })
 	}
-	w.Eng.RunUntil(sc.Duration)
+	w.Drain()
 
 	var tracker adversary.RouteTracker
 	recs := w.Proto.Collector().Records()
@@ -227,8 +229,9 @@ func DoSAttack(seed int64, proto ProtocolName, packets, compromise int) DoSResul
 	sc.Seed = seed
 	sc.Protocol = proto
 	sc.Mobility = Static
-	sc.Duration = float64(packets)*sc.Interval + 20
-	w := Build(sc)
+	sc.Duration = float64(packets) * sc.Interval
+	sc.DrainTime = 20 // the post-compromise phase needs longer to settle
+	w := MustBuild(sc)
 	pairs := w.ChoosePairs()[:1]
 	s, d := pairs[0].S, pairs[0].D
 
@@ -262,7 +265,7 @@ func DoSAttack(seed int64, proto ProtocolName, packets, compromise int) DoSResul
 		at := float64(i) * sc.Interval
 		w.Eng.At(at+0.01, func() { w.Proto.Send(s, d, []byte("x")) })
 	}
-	w.Eng.RunUntil(sc.Duration)
+	w.Drain()
 
 	recs := w.Proto.Collector().Records()
 	var del1, del2, n1, n2 int
@@ -326,15 +329,15 @@ func IntersectionRemedyCost(seed int64, packets int, alert bool) TradeoffResult 
 		sc.Protocol = ZAP
 		sc.Zap.EnlargePerPacket = 40
 	}
-	sc.Duration = float64(packets)*sc.Interval + 10
-	w := Build(sc)
+	sc.Duration = float64(packets) * sc.Interval
+	w := MustBuild(sc)
 	pairs := w.ChoosePairs()[:1]
 	s, d := pairs[0].S, pairs[0].D
 	for i := 0; i < packets; i++ {
 		at := float64(i) * sc.Interval
 		w.Eng.At(at+0.01, func() { w.Proto.Send(s, d, []byte("session")) })
 	}
-	w.Eng.RunUntil(sc.Duration)
+	w.Drain()
 	recs := w.Proto.Collector().Records()
 	var res TradeoffResult
 	if len(recs) < 6 {
@@ -356,7 +359,7 @@ func RemainingInZone(seed int64, n int, speed float64, times []float64) []int {
 	sc.Seed = seed
 	sc.N = n
 	sc.Speed = speed
-	w := Build(sc)
+	w := MustBuild(sc)
 	pairs := w.ChoosePairs()[:1]
 	d := pairs[0].D
 	zone := w.Alert.DestZoneFor(d)
@@ -409,7 +412,7 @@ func SourceLocationError(seed int64, notifyAndGo bool) float64 {
 	sc.Alert.NotifyAndGo = notifyAndGo
 	sc.Alert.NotifyT = 5e-3
 	sc.Alert.NotifyT0 = 20e-3
-	w := Build(sc)
+	w := MustBuild(sc)
 	pairs := w.ChoosePairs()[:1]
 	s, d := pairs[0].S, pairs[0].D
 	sPos := w.Med.PositionNow(s)

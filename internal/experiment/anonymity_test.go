@@ -119,7 +119,7 @@ func TestRemainingInZoneDecays(t *testing.T) {
 
 func TestZoneOf(t *testing.T) {
 	sc := DefaultScenario()
-	w := Build(sc)
+	w := MustBuild(sc)
 	z := ZoneOf(w, 5)
 	if z.Empty() {
 		t.Fatal("zone empty")
@@ -129,7 +129,7 @@ func TestZoneOf(t *testing.T) {
 	}
 	// GPSR world: ZoneOf falls back to the default ALERT geometry.
 	sc.Protocol = GPSR
-	w2 := Build(sc)
+	w2 := MustBuild(sc)
 	z2 := ZoneOf(w2, 5)
 	if z2.Empty() {
 		t.Fatal("fallback zone empty")
@@ -227,7 +227,7 @@ func TestReplayDeterminismDeep(t *testing.T) {
 	collect := func() []string {
 		sc := DefaultScenario()
 		sc.Duration = 20
-		w := Build(sc)
+		w := MustBuild(sc)
 		pairs := w.ChoosePairs()
 		w.StartWorkload(pairs)
 		w.Eng.RunUntil(sc.Duration + 5)

@@ -15,7 +15,7 @@ func TestEnergyOrdering(t *testing.T) {
 		sc := DefaultScenario()
 		sc.Protocol = p
 		sc.Duration = 40
-		r := Run(sc)
+		r := MustRun(sc)
 		if r.EnergyJoules <= 0 || math.IsInf(r.EnergyPerDelivered, 1) {
 			t.Fatalf("%s: no energy accounted", p)
 		}
@@ -40,9 +40,9 @@ func TestEnergyOrdering(t *testing.T) {
 func TestEnergyScalesWithCryptoOps(t *testing.T) {
 	base := DefaultScenario()
 	base.Duration = 30
-	plain := Run(base)
+	plain := MustRun(base)
 	base.Alert.NotifyAndGo = true
-	covered := Run(base)
+	covered := MustRun(base)
 	if covered.EnergyJoules <= plain.EnergyJoules {
 		t.Fatalf("notify-and-go energy (%v) should exceed plain (%v)",
 			covered.EnergyJoules, plain.EnergyJoules)
@@ -56,7 +56,7 @@ func TestEnergyUndelivered(t *testing.T) {
 	sc.N = 4 // hopelessly sparse
 	sc.Pairs = 1
 	sc.Duration = 10
-	r := Run(sc)
+	r := MustRun(sc)
 	if r.DeliveryRate == 0 && !math.IsInf(r.EnergyPerDelivered, 1) {
 		t.Fatalf("undelivered run: EnergyPerDelivered = %v", r.EnergyPerDelivered)
 	}

@@ -87,10 +87,13 @@ type Scenario struct {
 	// setdest movement script instead of a synthetic model.
 	NS2TracePath string
 
-	Duration float64 // seconds of simulated time
-	Pairs    int     // concurrent S-D pairs
-	Interval float64 // seconds between packets of one pair
-	Packets  int     // if > 0, cap packets per pair
+	Duration float64 // seconds of simulated time; no traffic sends after it
+	// DrainTime is how long the run keeps executing after Duration so
+	// in-flight packets can finish; nothing sends during the drain.
+	DrainTime float64
+	Pairs     int     // concurrent S-D pairs
+	Interval  float64 // seconds between packets of one pair
+	Packets   int     // if > 0, cap packets per pair
 	// Workload selects the traffic model; CBR is the paper's.
 	Workload WorkloadName
 
@@ -128,6 +131,7 @@ func DefaultScenario() Scenario {
 		Groups:        10,
 		GroupRange:    150,
 		Duration:      100,
+		DrainTime:     10,
 		Pairs:         10,
 		Interval:      2,
 		PacketSize:    512,
@@ -142,6 +146,63 @@ func DefaultScenario() Scenario {
 		Zap:           zap.DefaultConfig(),
 		Costs:         crypt.DefaultCostModel(),
 	}
+}
+
+// Validate checks that the scenario describes a runnable experiment. Build,
+// Run and RunSeeds call it, so a bad configuration surfaces as an error
+// before any simulation state exists.
+func (sc Scenario) Validate() error {
+	switch sc.Protocol {
+	case ALERT, GPSR, ALARM, AO2P, ZAP:
+	default:
+		return fmt.Errorf("experiment: unknown protocol %q", sc.Protocol)
+	}
+	switch sc.Workload {
+	case "", CBR, Poisson, Burst: // "" means CBR, the paper's model
+	default:
+		return fmt.Errorf("experiment: unknown workload %q", sc.Workload)
+	}
+	switch sc.Mobility {
+	case NS2Trace:
+		if sc.NS2TracePath == "" {
+			return fmt.Errorf("experiment: mobility %q requires NS2TracePath", sc.Mobility)
+		}
+	case RandomWaypoint, GroupMobility, Static:
+		// A trace overrides N; synthetic models need nodes to place.
+		if sc.N < 2 {
+			return fmt.Errorf("experiment: need at least 2 nodes, got %d", sc.N)
+		}
+	default:
+		return fmt.Errorf("experiment: unknown mobility %q", sc.Mobility)
+	}
+	if sc.Field.Empty() {
+		return fmt.Errorf("experiment: empty field %v", sc.Field)
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("experiment: duration must be positive, got %v", sc.Duration)
+	}
+	if sc.DrainTime < 0 {
+		return fmt.Errorf("experiment: drain time must be non-negative, got %v", sc.DrainTime)
+	}
+	if sc.Interval <= 0 {
+		return fmt.Errorf("experiment: send interval must be positive, got %v", sc.Interval)
+	}
+	if sc.Pairs < 1 {
+		return fmt.Errorf("experiment: need at least one S-D pair, got %d", sc.Pairs)
+	}
+	if sc.Mobility != NS2Trace && sc.Pairs > sc.N*(sc.N-1) {
+		return fmt.Errorf("experiment: %d distinct pairs impossible with %d nodes", sc.Pairs, sc.N)
+	}
+	if sc.Packets < 0 {
+		return fmt.Errorf("experiment: packet cap must be non-negative, got %d", sc.Packets)
+	}
+	if sc.Speed < 0 {
+		return fmt.Errorf("experiment: speed must be non-negative, got %v", sc.Speed)
+	}
+	if sc.LossRate < 0 || sc.LossRate > 1 {
+		return fmt.Errorf("experiment: loss rate must be in [0,1], got %v", sc.LossRate)
+	}
+	return nil
 }
 
 // Proto is the common protocol surface the harness drives.
@@ -166,7 +227,12 @@ type World struct {
 }
 
 // Build assembles a World from a scenario without starting any traffic.
-func Build(sc Scenario) *World {
+// The scenario is validated first; an invalid one returns an error rather
+// than a half-built world.
+func Build(sc Scenario) (*World, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	src := rng.New(sc.Seed)
 	eng := sim.NewEngine()
 
@@ -175,24 +241,25 @@ func Build(sc Scenario) *World {
 	case NS2Trace:
 		f, err := os.Open(sc.NS2TracePath)
 		if err != nil {
-			panic(fmt.Sprintf("experiment: open NS-2 trace: %v", err))
+			return nil, fmt.Errorf("experiment: open NS-2 trace: %w", err)
 		}
 		tm, err := mobility.ParseNS2(f, sc.Field)
 		f.Close()
 		if err != nil {
-			panic(fmt.Sprintf("experiment: parse NS-2 trace: %v", err))
+			return nil, fmt.Errorf("experiment: parse NS-2 trace: %w", err)
 		}
 		mob = tm
 		sc.N = tm.N()
+		if sc.Pairs > sc.N*(sc.N-1) {
+			return nil, fmt.Errorf("experiment: %d distinct pairs impossible with %d trace nodes", sc.Pairs, sc.N)
+		}
 	case Static:
 		mob = mobility.NewStatic(sc.Field, sc.N, src)
 	case GroupMobility:
 		mob = mobility.NewGroupMobility(sc.Field, sc.N, sc.Groups, sc.GroupRange,
 			mobility.Fixed(sc.Speed), src)
-	case RandomWaypoint:
+	default: // RandomWaypoint; Validate rejected everything else
 		mob = mobility.NewRandomWaypoint(sc.Field, sc.N, mobility.Fixed(sc.Speed), src)
-	default:
-		panic(fmt.Sprintf("experiment: unknown mobility %q", sc.Mobility))
 	}
 
 	par := medium.DefaultParams()
@@ -235,8 +302,16 @@ func Build(sc Scenario) *World {
 		cfg := sc.Zap
 		cfg.PacketSize = sc.PacketSize
 		w.Proto = zap.New(net, loc, cfg, src)
-	default:
-		panic(fmt.Sprintf("experiment: unknown protocol %q", sc.Protocol))
+	}
+	return w, nil
+}
+
+// MustBuild is Build for callers whose scenario is known good (tests,
+// examples, generated presets); it panics on error.
+func MustBuild(sc Scenario) *World {
+	w, err := Build(sc)
+	if err != nil {
+		panic(err)
 	}
 	return w
 }
@@ -246,107 +321,23 @@ type Pair struct {
 	S, D medium.NodeID
 }
 
-// ChoosePairs draws the scenario's random S-D pairs.
+// ChoosePairs draws the scenario's random S-D pairs. The pairs are
+// distinct: a duplicate (S, D) flow would be merged with its twin by
+// routeJaccard's per-pair grouping and skew the similarity numbers.
+// Validate guarantees enough distinct pairs exist, so the draw terminates.
 func (w *World) ChoosePairs() []Pair {
 	pairs := make([]Pair, 0, w.Scenario.Pairs)
+	seen := make(map[Pair]bool, w.Scenario.Pairs)
 	for len(pairs) < w.Scenario.Pairs {
 		s := medium.NodeID(w.Rand.Intn(w.Scenario.N))
 		d := medium.NodeID(w.Rand.Intn(w.Scenario.N))
-		if s != d {
-			pairs = append(pairs, Pair{S: s, D: d})
+		pr := Pair{S: s, D: d}
+		if s != d && !seen[pr] {
+			seen[pr] = true
+			pairs = append(pairs, pr)
 		}
 	}
 	return pairs
-}
-
-// StartWorkload schedules the scenario's traffic model for each pair until
-// Duration (or Packets per pair): CBR sends every Interval seconds; Poisson
-// draws exponential gaps with mean Interval; Burst alternates exponential
-// on-periods (packets every Interval/4) with exponential off-periods,
-// keeping the same long-run mean rate.
-func (w *World) StartWorkload(pairs []Pair) {
-	payload := make([]byte, 64)
-	w.Rand.Read(payload)
-	for i, pr := range pairs {
-		pr := pr
-		src := w.Rand.SplitIndex("pair", i)
-		switch w.Scenario.Workload {
-		case Poisson:
-			w.startPoisson(pr, payload, src)
-		case Burst:
-			w.startBurst(pr, payload, src)
-		default:
-			w.startCBR(pr, payload, src)
-		}
-	}
-}
-
-func (w *World) startCBR(pr Pair, payload []byte, src *rng.Source) {
-	offset := src.Uniform(0, w.Scenario.Interval/2)
-	sent := 0
-	var stop func()
-	stop = w.Eng.Ticker(offset, w.Scenario.Interval, func(sim.Time) {
-		if w.Scenario.Packets > 0 && sent >= w.Scenario.Packets {
-			stop()
-			return
-		}
-		sent++
-		w.Proto.Send(pr.S, pr.D, payload)
-	})
-}
-
-func (w *World) startPoisson(pr Pair, payload []byte, src *rng.Source) {
-	sent := 0
-	var next func()
-	next = func() {
-		if w.Eng.Now() >= w.Scenario.Duration {
-			return
-		}
-		if w.Scenario.Packets > 0 && sent >= w.Scenario.Packets {
-			return
-		}
-		sent++
-		w.Proto.Send(pr.S, pr.D, payload)
-		w.Eng.Schedule(src.Exponential(w.Scenario.Interval), next)
-	}
-	w.Eng.Schedule(src.Exponential(w.Scenario.Interval), next)
-}
-
-func (w *World) startBurst(pr Pair, payload []byte, src *rng.Source) {
-	// Mean on = mean off, so packets at Interval/4 within bursts halve to
-	// a long-run rate of one per Interval/2... we scale the on-rate so the
-	// long-run mean matches CBR: on fraction 1/2 at Interval/2 spacing.
-	const meanBurst = 4.0 // seconds of talkspurt
-	sent := 0
-	var onPhase, offPhase func()
-	onPhase = func() {
-		if w.Eng.Now() >= w.Scenario.Duration {
-			return
-		}
-		end := w.Eng.Now() + src.Exponential(meanBurst)
-		var tick func()
-		tick = func() {
-			if w.Eng.Now() >= w.Scenario.Duration ||
-				(w.Scenario.Packets > 0 && sent >= w.Scenario.Packets) {
-				return
-			}
-			if w.Eng.Now() >= end {
-				offPhase()
-				return
-			}
-			sent++
-			w.Proto.Send(pr.S, pr.D, payload)
-			w.Eng.Schedule(w.Scenario.Interval/2, tick)
-		}
-		tick()
-	}
-	offPhase = func() {
-		if w.Eng.Now() >= w.Scenario.Duration {
-			return
-		}
-		w.Eng.Schedule(src.Exponential(meanBurst), onPhase)
-	}
-	w.Eng.Schedule(src.Uniform(0, w.Scenario.Interval), onPhase)
 }
 
 // EnergyModel converts counted work (radio bytes and cryptographic
@@ -378,6 +369,7 @@ func DefaultEnergyModel() EnergyModel {
 // Result holds one run's metrics.
 type Result struct {
 	Sent          int
+	Delivered     int
 	DeliveryRate  float64
 	MeanLatency   float64
 	HopsPerPacket float64
@@ -405,13 +397,33 @@ type Result struct {
 }
 
 // Run builds the world, drives the workload, and collects metrics.
-func Run(sc Scenario) Result {
-	w := Build(sc)
+func Run(sc Scenario) (Result, error) {
+	w, err := Build(sc)
+	if err != nil {
+		return Result{}, err
+	}
 	pairs := w.ChoosePairs()
 	w.StartWorkload(pairs)
-	// Let in-flight packets finish after the last send.
-	w.Eng.RunUntil(sc.Duration + 10)
-	return w.Collect(pairs)
+	w.Drain()
+	return w.Collect(pairs), nil
+}
+
+// MustRun is Run for callers whose scenario is known good; it panics on
+// error.
+func MustRun(sc Scenario) Result {
+	res, err := Run(sc)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Drain executes the simulation through the send horizon plus the drain
+// phase: traffic stops at Scenario.Duration (the workload driver's
+// invariant) and in-flight packets get Scenario.DrainTime more seconds to
+// finish. This is the one place the run's time horizon is defined.
+func (w *World) Drain() {
+	w.Eng.RunUntil(w.Scenario.Duration + w.Scenario.DrainTime)
 }
 
 // Collect summarizes the collector into a Result.
@@ -419,6 +431,7 @@ func (w *World) Collect(pairs []Pair) Result {
 	col := w.Proto.Collector()
 	res := Result{
 		Sent:          col.Sent(),
+		Delivered:     col.Delivered(),
 		DeliveryRate:  col.DeliveryRate(),
 		MeanLatency:   col.MeanLatency(),
 		HopsPerPacket: col.HopsPerPacket(),
@@ -443,9 +456,8 @@ func (w *World) Collect(pairs []Pair) Result {
 		float64(mc.RxBytes)*em.RxPerByte +
 		float64(w.Net.Ops.Sym)*em.SymOp +
 		float64(w.Net.Ops.Pub)*em.PubOp
-	delivered := float64(res.Sent) * res.DeliveryRate
-	if delivered > 0 {
-		res.EnergyPerDelivered = res.EnergyJoules / delivered
+	if res.Delivered > 0 {
+		res.EnergyPerDelivered = res.EnergyJoules / float64(res.Delivered)
 	} else {
 		res.EnergyPerDelivered = math.Inf(1)
 	}
@@ -535,9 +547,15 @@ type Aggregate struct {
 // RunParallel executes the scenario under seeds different seeds (1..seeds)
 // concurrently — every run owns its engine, random streams and world, so
 // they are fully independent — and returns the results in seed order, which
-// keeps all downstream aggregation deterministic.
-func RunParallel(sc Scenario, seeds int) []Result {
+// keeps all downstream aggregation deterministic. The scenario is validated
+// once up front; with a valid scenario the only per-run failure mode left
+// is an unreadable NS-2 trace, and the first such error is returned.
+func RunParallel(sc Scenario, seeds int) ([]Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	results := make([]Result, seeds)
+	errs := make([]error, seeds)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > seeds {
 		workers = seeds
@@ -551,7 +569,7 @@ func RunParallel(sc Scenario, seeds int) []Result {
 			for i := range next {
 				run := sc
 				run.Seed = int64(i + 1)
-				results[i] = Run(run)
+				results[i], errs[i] = Run(run)
 			}
 		}()
 	}
@@ -560,13 +578,31 @@ func RunParallel(sc Scenario, seeds int) []Result {
 	}
 	close(next)
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// mustRunParallel backs the figure generators, whose scenarios are built
+// from known-good presets.
+func mustRunParallel(sc Scenario, seeds int) []Result {
+	results, err := RunParallel(sc, seeds)
+	if err != nil {
+		panic(err)
+	}
 	return results
 }
 
 // RunSeeds runs the scenario under `seeds` different seeds (the paper uses
 // 30) and aggregates with 95% confidence intervals.
-func RunSeeds(sc Scenario, seeds int) Aggregate {
-	results := RunParallel(sc, seeds)
+func RunSeeds(sc Scenario, seeds int) (Aggregate, error) {
+	results, err := RunParallel(sc, seeds)
+	if err != nil {
+		return Aggregate{}, err
+	}
 
 	var del, lat, hops, rfs, parts, jac stats.Sample
 	for _, r := range results {
@@ -584,5 +620,15 @@ func RunSeeds(sc Scenario, seeds int) Aggregate {
 		MeanRFs:       rfs.Summarize(),
 		Participants:  parts.Summarize(),
 		RouteJaccard:  jac.Summarize(),
+	}, nil
+}
+
+// MustRunSeeds is RunSeeds for callers whose scenario is known good; it
+// panics on error.
+func MustRunSeeds(sc Scenario, seeds int) Aggregate {
+	agg, err := RunSeeds(sc, seeds)
+	if err != nil {
+		panic(err)
 	}
+	return agg
 }

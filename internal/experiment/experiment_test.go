@@ -2,13 +2,17 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"testing"
 
 	"alertmanet/internal/analysis"
+	"alertmanet/internal/geo"
 	"alertmanet/internal/gpsr"
 	"alertmanet/internal/medium"
+	"alertmanet/internal/metrics"
+	"alertmanet/internal/sim"
 	"alertmanet/internal/stats"
 )
 
@@ -19,7 +23,7 @@ func TestDefaultScenarioAllProtocols(t *testing.T) {
 		sc := DefaultScenario()
 		sc.Protocol = p
 		sc.Duration = 40
-		r := Run(sc)
+		r := MustRun(sc)
 		if r.Sent == 0 {
 			t.Fatalf("%s sent nothing", p)
 		}
@@ -38,7 +42,7 @@ func TestLatencyOrdering(t *testing.T) {
 		sc := DefaultScenario()
 		sc.Protocol = p
 		sc.Duration = 40
-		lat[p] = Run(sc).MeanLatency
+		lat[p] = MustRun(sc).MeanLatency
 	}
 	if lat[GPSR] >= lat[ALERT] {
 		t.Fatalf("GPSR (%v) should be below ALERT (%v)", lat[GPSR], lat[ALERT])
@@ -58,7 +62,7 @@ func TestHopsOrdering(t *testing.T) {
 	for _, p := range []ProtocolName{ALERT, GPSR, ALARM, AO2P} {
 		sc := DefaultScenario()
 		sc.Protocol = p
-		hops[p] = Run(sc).HopsPerPacket
+		hops[p] = MustRun(sc).HopsPerPacket
 	}
 	if hops[ALERT] <= hops[GPSR] {
 		t.Fatalf("ALERT hops (%v) must exceed GPSR (%v)", hops[ALERT], hops[GPSR])
@@ -78,9 +82,9 @@ func TestHopsOrdering(t *testing.T) {
 func TestRouteAnonymity(t *testing.T) {
 	sc := DefaultScenario()
 	sc.Duration = 40
-	alert := Run(sc)
+	alert := MustRun(sc)
 	sc.Protocol = GPSR
-	gpsrR := Run(sc)
+	gpsrR := MustRun(sc)
 	if alert.RouteJaccard >= gpsrR.RouteJaccard {
 		t.Fatalf("ALERT route similarity (%v) must be below GPSR (%v)",
 			alert.RouteJaccard, gpsrR.RouteJaccard)
@@ -222,7 +226,7 @@ func TestFig16bShape(t *testing.T) {
 		const seeds = 3
 		for s := 1; s <= seeds; s++ {
 			sc.Seed = int64(s)
-			sum += Run(sc).DeliveryRate
+			sum += MustRun(sc).DeliveryRate
 		}
 		return sum / seeds
 	}
@@ -262,7 +266,7 @@ func TestFig17Shape(t *testing.T) {
 func TestRunSeedsAggregates(t *testing.T) {
 	sc := DefaultScenario()
 	sc.Duration = 20
-	agg := RunSeeds(sc, 3)
+	agg := MustRunSeeds(sc, 3)
 	if agg.DeliveryRate.N != 3 {
 		t.Fatalf("aggregate N = %d", agg.DeliveryRate.N)
 	}
@@ -276,7 +280,7 @@ func TestRunSeedsAggregates(t *testing.T) {
 
 func TestChoosePairsValid(t *testing.T) {
 	sc := DefaultScenario()
-	w := Build(sc)
+	w := MustBuild(sc)
 	pairs := w.ChoosePairs()
 	if len(pairs) != sc.Pairs {
 		t.Fatalf("pairs = %d", len(pairs))
@@ -294,14 +298,14 @@ func TestChoosePairsValid(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	sc := DefaultScenario()
 	sc.Duration = 20
-	a := Run(sc)
-	b := Run(sc)
+	a := MustRun(sc)
+	b := MustRun(sc)
 	if a.DeliveryRate != b.DeliveryRate || a.MeanLatency != b.MeanLatency ||
 		a.HopsPerPacket != b.HopsPerPacket || a.Participants != b.Participants {
 		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
 	}
 	sc.Seed = 999
-	c := Run(sc)
+	c := MustRun(sc)
 	if a.MeanLatency == c.MeanLatency && a.Participants == c.Participants {
 		t.Fatal("different seeds produced identical results")
 	}
@@ -311,7 +315,7 @@ func TestGroupMobilityScenario(t *testing.T) {
 	sc := DefaultScenario()
 	sc.Mobility = GroupMobility
 	sc.Duration = 20
-	r := Run(sc)
+	r := MustRun(sc)
 	if r.Sent == 0 {
 		t.Fatal("group mobility scenario sent nothing")
 	}
@@ -321,7 +325,7 @@ func TestStaticScenario(t *testing.T) {
 	sc := DefaultScenario()
 	sc.Mobility = Static
 	sc.Duration = 20
-	r := Run(sc)
+	r := MustRun(sc)
 	if r.DeliveryRate < 0.9 {
 		t.Fatalf("static delivery = %v", r.DeliveryRate)
 	}
@@ -419,7 +423,7 @@ func TestZAPScenario(t *testing.T) {
 	sc := DefaultScenario()
 	sc.Protocol = ZAP
 	sc.Duration = 20
-	r := Run(sc)
+	r := MustRun(sc)
 	if r.DeliveryRate < 0.9 {
 		t.Fatalf("ZAP delivery = %v", r.DeliveryRate)
 	}
@@ -445,7 +449,7 @@ func TestNS2TraceScenario(t *testing.T) {
 	sc.NS2TracePath = path
 	sc.Pairs = 1
 	sc.Duration = 20
-	r := Run(sc)
+	r := MustRun(sc)
 	if r.Sent == 0 {
 		t.Fatal("trace scenario sent nothing")
 	}
@@ -454,7 +458,7 @@ func TestNS2TraceScenario(t *testing.T) {
 func TestLatencyPercentilesAndJitter(t *testing.T) {
 	sc := DefaultScenario()
 	sc.Duration = 40
-	r := Run(sc)
+	r := MustRun(sc)
 	if r.LatencyP50 <= 0 || r.LatencyP95 < r.LatencyP50 || r.LatencyP99 < r.LatencyP95 {
 		t.Fatalf("percentiles disordered: p50=%v p95=%v p99=%v",
 			r.LatencyP50, r.LatencyP95, r.LatencyP99)
@@ -464,7 +468,7 @@ func TestLatencyPercentilesAndJitter(t *testing.T) {
 	}
 	// ALERT's random paths must jitter more than GPSR's fixed ones.
 	sc.Protocol = GPSR
-	g := Run(sc)
+	g := MustRun(sc)
 	if r.Jitter <= g.Jitter {
 		t.Fatalf("ALERT jitter (%v) should exceed GPSR (%v)", r.Jitter, g.Jitter)
 	}
@@ -475,12 +479,12 @@ func TestRunSeedsParallelMatchesSerial(t *testing.T) {
 	// calls produce.
 	sc := DefaultScenario()
 	sc.Duration = 15
-	agg := RunSeeds(sc, 3)
+	agg := MustRunSeeds(sc, 3)
 	var manual stats.Sample
 	for s := 1; s <= 3; s++ {
 		run := sc
 		run.Seed = int64(s)
-		manual.Add(Run(run).DeliveryRate)
+		manual.Add(MustRun(run).DeliveryRate)
 	}
 	if agg.DeliveryRate.Mean != manual.Mean() {
 		t.Fatalf("parallel mean %v != serial mean %v",
@@ -539,9 +543,9 @@ func TestLoadBalanceALERTSpreadsWork(t *testing.T) {
 	sc := DefaultScenario()
 	sc.Mobility = Static // fixed paths: GPSR's worst case
 	sc.Duration = 40
-	alertR := Run(sc)
+	alertR := MustRun(sc)
 	sc.Protocol = GPSR
-	gpsrR := Run(sc)
+	gpsrR := MustRun(sc)
 	if alertR.LoadGini >= gpsrR.LoadGini {
 		t.Fatalf("ALERT load Gini (%v) should be below GPSR (%v)",
 			alertR.LoadGini, gpsrR.LoadGini)
@@ -565,7 +569,7 @@ func TestPresets(t *testing.T) {
 		// Every preset must actually run.
 		sc := p.Scenario
 		sc.Duration = 10
-		r := Run(sc)
+		r := MustRun(sc)
 		if r.Sent == 0 {
 			t.Fatalf("preset %q sent nothing", p.Name)
 		}
@@ -584,7 +588,7 @@ func TestWorkloadModels(t *testing.T) {
 		sc := DefaultScenario()
 		sc.Workload = wl
 		sc.Duration = 60
-		r := Run(sc)
+		r := MustRun(sc)
 		if r.Sent == 0 {
 			t.Fatalf("%s sent nothing", wl)
 		}
@@ -610,7 +614,7 @@ func TestBurstIsBursty(t *testing.T) {
 		sc.Workload = wl
 		sc.Pairs = 1
 		sc.Duration = 80
-		w := Build(sc)
+		w := MustBuild(sc)
 		var times []float64
 		w.Med.TapSend(func(tx medium.Transmission) {
 			if _, ok := tx.Payload.(*gpsr.Packet); ok {
@@ -631,21 +635,168 @@ func TestBurstIsBursty(t *testing.T) {
 	}
 }
 
-func TestBuildPanicsOnBadConfig(t *testing.T) {
-	expectPanic := func(name string, mutate func(*Scenario)) {
-		defer func() {
-			if recover() == nil {
-				t.Fatalf("%s: no panic", name)
-			}
-		}()
-		sc := DefaultScenario()
-		mutate(&sc)
-		Build(sc)
+func TestValidateRejectsEachBadField(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"bad protocol", func(sc *Scenario) { sc.Protocol = "carrier-pigeon" }},
+		{"bad workload", func(sc *Scenario) { sc.Workload = "telepathy" }},
+		{"bad mobility", func(sc *Scenario) { sc.Mobility = "teleport" }},
+		{"missing trace path", func(sc *Scenario) { sc.Mobility = NS2Trace; sc.NS2TracePath = "" }},
+		{"too few nodes", func(sc *Scenario) { sc.N = 1 }},
+		{"empty field", func(sc *Scenario) { sc.Field = geo.Rect{} }},
+		{"zero duration", func(sc *Scenario) { sc.Duration = 0 }},
+		{"negative duration", func(sc *Scenario) { sc.Duration = -5 }},
+		{"negative drain", func(sc *Scenario) { sc.DrainTime = -1 }},
+		{"zero interval", func(sc *Scenario) { sc.Interval = 0 }},
+		{"zero pairs", func(sc *Scenario) { sc.Pairs = 0 }},
+		{"pairs exceed distinct flows", func(sc *Scenario) { sc.N = 3; sc.Pairs = 7 }},
+		{"negative packet cap", func(sc *Scenario) { sc.Packets = -1 }},
+		{"negative speed", func(sc *Scenario) { sc.Speed = -2 }},
+		{"loss rate above 1", func(sc *Scenario) { sc.LossRate = 1.5 }},
+		{"negative loss rate", func(sc *Scenario) { sc.LossRate = -0.1 }},
 	}
-	expectPanic("bad protocol", func(sc *Scenario) { sc.Protocol = "carrier-pigeon" })
-	expectPanic("bad mobility", func(sc *Scenario) { sc.Mobility = "teleport" })
-	expectPanic("missing trace", func(sc *Scenario) {
-		sc.Mobility = NS2Trace
-		sc.NS2TracePath = "/nonexistent/trace.tcl"
-	})
+	for _, c := range cases {
+		sc := DefaultScenario()
+		c.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, sc)
+		}
+	}
+	if err := DefaultScenario().Validate(); err != nil {
+		t.Fatalf("default scenario rejected: %v", err)
+	}
+	// Empty workload means CBR and is valid.
+	sc := DefaultScenario()
+	sc.Workload = ""
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("empty workload rejected: %v", err)
+	}
+}
+
+func TestBuildErrorsOnBadConfig(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Protocol = "carrier-pigeon"
+	if _, err := Build(sc); err == nil {
+		t.Fatal("Build accepted an unknown protocol")
+	}
+	if _, err := Run(sc); err == nil {
+		t.Fatal("Run accepted an unknown protocol")
+	}
+	if _, err := RunSeeds(sc, 2); err == nil {
+		t.Fatal("RunSeeds accepted an unknown protocol")
+	}
+	sc = DefaultScenario()
+	sc.Mobility = NS2Trace
+	sc.NS2TracePath = "/nonexistent/trace.tcl"
+	if _, err := Build(sc); err == nil {
+		t.Fatal("Build accepted a missing NS-2 trace")
+	}
+}
+
+// sendTap wraps a World's protocol to record when every application send
+// fires, so tests can assert on the workload driver's schedule.
+type sendTap struct {
+	Proto
+	eng    *sim.Engine
+	times  []float64
+	byPair map[Pair][]float64
+}
+
+func (s *sendTap) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+	s.times = append(s.times, s.eng.Now())
+	if s.byPair == nil {
+		s.byPair = map[Pair][]float64{}
+	}
+	p := Pair{S: src, D: dst}
+	s.byPair[p] = append(s.byPair[p], s.eng.Now())
+	return s.Proto.Send(src, dst, data)
+}
+
+// TestNoSendsAfterDuration is the regression test for the CBR horizon bug:
+// under every traffic model, no send may fire after Scenario.Duration even
+// though the run drains well past it.
+func TestNoSendsAfterDuration(t *testing.T) {
+	for _, wl := range []WorkloadName{CBR, Poisson, Burst} {
+		sc := DefaultScenario()
+		sc.Workload = wl
+		sc.Duration = 30
+		sc.DrainTime = 15
+		w := MustBuild(sc)
+		tap := &sendTap{Proto: w.Proto, eng: w.Eng}
+		w.Proto = tap
+		w.StartWorkload(w.ChoosePairs())
+		w.Drain()
+		if len(tap.times) == 0 {
+			t.Fatalf("%s sent nothing", wl)
+		}
+		for _, at := range tap.times {
+			if at > sc.Duration {
+				t.Fatalf("%s sent at t=%v, after Duration=%v", wl, at, sc.Duration)
+			}
+		}
+	}
+}
+
+// TestCBRSendCount checks CBR's exact packet count: each pair sends at
+// offset, offset+Interval, ... while <= Duration, i.e.
+// floor((Duration-offset)/Interval) + 1 packets.
+func TestCBRSendCount(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Duration = 33 // not a multiple of Interval, exercises the floor
+	w := MustBuild(sc)
+	tap := &sendTap{Proto: w.Proto, eng: w.Eng}
+	w.Proto = tap
+	pairs := w.ChoosePairs()
+	w.StartWorkload(pairs)
+	w.Drain()
+	if len(tap.byPair) != len(pairs) {
+		t.Fatalf("observed %d sending pairs, want %d", len(tap.byPair), len(pairs))
+	}
+	total := 0
+	for p, times := range tap.byPair {
+		offset := times[0] // the pair's first send is its offset
+		if offset < 0 || offset >= sc.Interval/2 {
+			t.Fatalf("pair %v offset %v outside [0, Interval/2)", p, offset)
+		}
+		want := int(math.Floor((sc.Duration-offset)/sc.Interval)) + 1
+		if len(times) != want {
+			t.Fatalf("pair %v sent %d packets, want floor((%v-%v)/%v)+1 = %d",
+				p, len(times), sc.Duration, offset, sc.Interval, want)
+		}
+		total += want
+	}
+	if got := w.Proto.Collector().Sent(); got != total {
+		t.Fatalf("collector counted %d sends, want %d", got, total)
+	}
+}
+
+// TestCBRPacketsCap: the per-pair cap stops CBR before the horizon.
+func TestCBRPacketsCap(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Duration = 40
+	sc.Packets = 3
+	r := MustRun(sc)
+	if want := sc.Packets * sc.Pairs; r.Sent != want {
+		t.Fatalf("capped CBR sent %d, want %d", r.Sent, want)
+	}
+}
+
+func TestChoosePairsDistinct(t *testing.T) {
+	sc := DefaultScenario()
+	sc.N = 5
+	sc.Pairs = 10 // half of the 20 possible ordered pairs: collisions certain
+	w := MustBuild(sc)
+	pairs := w.ChoosePairs()
+	if len(pairs) != sc.Pairs {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
 }

@@ -37,7 +37,7 @@ func Fig10a(packets, seeds int) []analysis.Series {
 				sc.Packets = packets
 				sc.Interval = 0.5 // keep path churn low over the burst
 				sc.Duration = float64(packets)*sc.Interval + 5
-				r := Run(sc)
+				r := MustRun(sc)
 				for i := 0; i < packets && i < len(r.Cumulative); i++ {
 					sums[i] += float64(r.Cumulative[i])
 					counts[i]++
@@ -76,7 +76,7 @@ func Fig10b(packets, seeds int) []analysis.Series {
 				sc.Packets = packets
 				sc.Interval = 0.5
 				sc.Duration = float64(packets)*sc.Interval + 5
-				sample.Add(float64(Run(sc).Participants))
+				sample.Add(float64(MustRun(sc).Participants))
 			}
 			s.X = append(s.X, float64(n))
 			s.Y = append(s.Y, sample.Mean())
@@ -99,7 +99,7 @@ func Fig11(hMax, seeds int) analysis.Series {
 			sc.Protocol = ALERT
 			sc.Alert.H = h
 			sc.Duration = 40
-			sample.Add(Run(sc).MeanRFs)
+			sample.Add(MustRun(sc).MeanRFs)
 		}
 		s.X = append(s.X, float64(h))
 		s.Y = append(s.Y, sample.Mean())
@@ -216,7 +216,7 @@ func sweepMetric(xs []float64, seeds int, configure func(*Scenario, float64),
 			sc.Protocol = p
 			configure(&sc, x)
 			var sample stats.Sample
-			for _, r := range RunParallel(sc, seeds) {
+			for _, r := range mustRunParallel(sc, seeds) {
 				sample.Add(metric(r))
 			}
 			s.X = append(s.X, x)
@@ -252,7 +252,7 @@ func Fig14b(seeds int) []analysis.Series {
 				sc.LocUpdates = upd
 				sc.Duration = 40
 				var sample stats.Sample
-				for _, r := range RunParallel(sc, seeds) {
+				for _, r := range mustRunParallel(sc, seeds) {
 					sample.Add(r.MeanLatency)
 				}
 				s.X = append(s.X, v)
@@ -270,7 +270,7 @@ func Fig14b(seeds int) []analysis.Series {
 			sc.Speed = v
 			sc.Duration = 40
 			var sample stats.Sample
-			for _, r := range RunParallel(sc, seeds) {
+			for _, r := range mustRunParallel(sc, seeds) {
 				sample.Add(r.MeanLatency)
 			}
 			s.X = append(s.X, v)
@@ -303,7 +303,7 @@ func Fig15a(seeds int) []analysis.Series {
 			sc.Protocol = ALARM
 			sc.N = int(n)
 			sc.Alarm.DisseminationPeriod = 0 // no overhead counted
-			sample.Add(Run(sc).HopsPerPacket)
+			sample.Add(MustRun(sc).HopsPerPacket)
 		}
 		s.X = append(s.X, n)
 		s.Y = append(s.Y, sample.Mean())
@@ -331,7 +331,7 @@ func Fig15b(seeds int) []analysis.Series {
 				sc.LocUpdates = upd
 				sc.Duration = 40
 				var sample stats.Sample
-				for _, r := range RunParallel(sc, seeds) {
+				for _, r := range mustRunParallel(sc, seeds) {
 					sample.Add(r.HopsPerPacket)
 				}
 				s.X = append(s.X, v)
@@ -365,7 +365,7 @@ func Fig16b(seeds int) []analysis.Series {
 				sc.LocUpdates = upd
 				sc.Duration = 40
 				var sample stats.Sample
-				for _, r := range RunParallel(sc, seeds) {
+				for _, r := range mustRunParallel(sc, seeds) {
 					sample.Add(r.DeliveryRate)
 				}
 				s.X = append(s.X, v)
@@ -403,7 +403,7 @@ func Fig17(seeds int) []analysis.Series {
 			sc.Groups = c.groups
 			sc.GroupRange = c.groupRange
 			sc.Duration = 60
-			sample.Add(Run(sc).MeanLatency)
+			sample.Add(MustRun(sc).MeanLatency)
 		}
 		s.X = []float64{0}
 		s.Y = []float64{sample.Mean()}
@@ -450,7 +450,7 @@ func CompareProtocols(protocols []ProtocolName, seeds int, duration float64) []C
 			if duration > 0 {
 				sc.Duration = duration
 			}
-			r := Run(sc)
+			r := MustRun(sc)
 			for _, m := range metrics {
 				samples[p][m.name].Add(m.get(r))
 			}

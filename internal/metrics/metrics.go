@@ -105,18 +105,25 @@ func (c *Collector) Sent() int { return len(c.records) }
 // Completed returns how many packets finished (delivered or dropped).
 func (c *Collector) Completed() int { return c.completed }
 
-// DeliveryRate returns delivered / sent (0 for no packets).
-func (c *Collector) DeliveryRate() float64 {
-	if len(c.records) == 0 {
-		return 0
-	}
+// Delivered returns the exact number of delivered packets. Energy-per-
+// delivered and similar ratios should use this count directly rather than
+// reconstructing it from Sent*DeliveryRate.
+func (c *Collector) Delivered() int {
 	d := 0
 	for _, r := range c.records {
 		if r.Delivered {
 			d++
 		}
 	}
-	return float64(d) / float64(len(c.records))
+	return d
+}
+
+// DeliveryRate returns delivered / sent (0 for no packets).
+func (c *Collector) DeliveryRate() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	return float64(c.Delivered()) / float64(len(c.records))
 }
 
 // MeanLatency returns the average end-to-end delay over delivered packets.

@@ -73,8 +73,18 @@ func TestMixedDelivery(t *testing.T) {
 	if c.DeliveryRate() != 0.5 {
 		t.Fatalf("rate = %v", c.DeliveryRate())
 	}
+	if c.Delivered() != 2 {
+		t.Fatalf("delivered = %d, want 2", c.Delivered())
+	}
 	if c.MeanLatency() != 0.25 {
 		t.Fatalf("latency = %v", c.MeanLatency())
+	}
+}
+
+func TestDeliveredCountEmpty(t *testing.T) {
+	c := NewCollector()
+	if c.Delivered() != 0 {
+		t.Fatal("empty collector reports deliveries")
 	}
 }
 

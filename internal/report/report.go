@@ -146,7 +146,7 @@ func Generate(w io.Writer, cfg Config) error {
 				sc.Seed = int64(s)
 				sc.Protocol = p
 				sc.Duration = 40
-				e += experiment.Run(sc).EnergyPerDelivered
+				e += experiment.MustRun(sc).EnergyPerDelivered
 			}
 			fmt.Fprintf(bw, "| %s | %.2f |\n", p, e/float64(cfg.Seeds)*1e3)
 		}

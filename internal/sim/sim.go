@@ -162,6 +162,15 @@ func (e *Engine) RunUntil(t Time) {
 // Ticker schedules fn every interval seconds starting at start, until the
 // returned stop function is called. fn receives the firing time.
 func (e *Engine) Ticker(start, interval Time, fn func(Time)) (stop func()) {
+	return e.TickerUntil(start, interval, math.Inf(1), fn)
+}
+
+// TickerUntil schedules fn every interval seconds starting at start, while
+// the firing time stays <= until (a tick landing exactly on the horizon
+// still fires). The returned stop function cancels the remaining ticks
+// early. Workload generators use this to guarantee no traffic past a
+// scenario's send horizon.
+func (e *Engine) TickerUntil(start, interval, until Time, fn func(Time)) (stop func()) {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
@@ -175,7 +184,13 @@ func (e *Engine) Ticker(start, interval Time, fn func(Time)) (stop func()) {
 		}
 		fn(e.now)
 		at += interval
+		if at > until {
+			return
+		}
 		id = e.At(at, tick)
+	}
+	if start > until {
+		return func() { stopped = true }
 	}
 	id = e.At(start, tick)
 	return func() {

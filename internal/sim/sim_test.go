@@ -171,6 +171,67 @@ func TestTicker(t *testing.T) {
 	}
 }
 
+func TestTickerUntilStopsAtHorizon(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.TickerUntil(1, 2, 7, func(now Time) { ticks = append(ticks, now) })
+	e.RunUntil(100)
+	// The tick landing exactly on the horizon fires; nothing after it does.
+	want := []Time{1, 3, 5, 7}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending past the horizon", e.Pending())
+	}
+}
+
+func TestTickerUntilStopCancels(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	stop := e.TickerUntil(1, 1, 50, func(now Time) { ticks = append(ticks, now) })
+	e.Schedule(3.5, stop)
+	e.RunUntil(100)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks after stop(): %v", ticks)
+	}
+	// Stopping twice is a no-op.
+	stop()
+	if e.Pending() != 0 {
+		t.Fatal("stopped ticker left events pending")
+	}
+}
+
+func TestTickerUntilStartPastHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	stop := e.TickerUntil(5, 1, 2, func(Time) { fired = true })
+	e.RunUntil(100)
+	if fired {
+		t.Fatal("ticker starting past its horizon fired")
+	}
+	stop() // must be callable without effect
+}
+
+func TestTickerIsUnboundedTickerUntil(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	stop := e.Ticker(0.5, 1, func(Time) { n++ })
+	e.RunUntil(1000)
+	if n != 1000 {
+		t.Fatalf("unbounded ticker fired %d times in 1000 s", n)
+	}
+	stop()
+	if e.Pending() != 0 {
+		t.Fatal("stop left events pending")
+	}
+}
+
 func TestTickerZeroIntervalPanics(t *testing.T) {
 	e := NewEngine()
 	defer func() {
