@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures analysis experiments fuzz clean
+.PHONY: all build test vet lint bench figures analysis experiments fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# alertlint enforces the determinism and error-discipline contracts
+# (see DESIGN.md, "The determinism contract"). Exits non-zero on findings.
+lint:
+	$(GO) run ./cmd/alertlint ./...
 
 test:
 	$(GO) test ./...

@@ -384,8 +384,8 @@ func (n *Network) Send(src, dst int, data []byte) error {
 	if src == dst {
 		return fmt.Errorf("alert: source and destination are the same node")
 	}
-	n.w.Proto.Send(medium.NodeID(src), medium.NodeID(dst), data)
-	return nil
+	_, err := n.w.Proto.Send(medium.NodeID(src), medium.NodeID(dst), data)
+	return err
 }
 
 // OnRequest sets the destination-side request handler: when a request
@@ -413,8 +413,8 @@ func (n *Network) Request(src, dst int, query []byte, onReply func(data []byte, 
 	if n.w.Alert == nil {
 		return fmt.Errorf("alert: request/reply requires the ALERT protocol")
 	}
-	n.w.Alert.Request(medium.NodeID(src), medium.NodeID(dst), query, onReply)
-	return nil
+	_, err := n.w.Alert.Request(medium.NodeID(src), medium.NodeID(dst), query, onReply)
+	return err
 }
 
 // RunFor advances the simulation by d simulated seconds.
@@ -444,8 +444,9 @@ func (n *Network) Metrics() Result {
 // RouteMap renders an ASCII map (w x h characters) of the most recent
 // delivered packet's route: '.' nodes, numbered relays in hop order, 'S'
 // and 'D' endpoints, '#' the destination-zone outline. Returns "" when
-// nothing has been delivered yet.
-func (n *Network) RouteMap(w, h int) string {
+// nothing has been delivered yet, and an error for a degenerate canvas
+// (dimensions below 2x2).
+func (n *Network) RouteMap(w, h int) (string, error) {
 	recs := n.w.Proto.Collector().Records()
 	for i := len(recs) - 1; i >= 0; i-- {
 		r := recs[i]
@@ -459,7 +460,7 @@ func (n *Network) RouteMap(w, h int) string {
 		zd := experiment.ZoneOf(n.w, r.Dst)
 		return trace.RouteMap(n.w.Net.Field(), positions, r.Path, r.Src, r.Dst, zd, w, h)
 	}
-	return ""
+	return "", nil
 }
 
 // RouteSVG renders the most recent delivered packet's route as an SVG

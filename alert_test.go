@@ -204,8 +204,8 @@ func TestGroupMobilityConfig(t *testing.T) {
 
 func TestRouteMap(t *testing.T) {
 	net := mustNet(t, DefaultConfig())
-	if net.RouteMap(60, 30) != "" {
-		t.Fatal("route map before any delivery should be empty")
+	if m, err := net.RouteMap(60, 30); err != nil || m != "" {
+		t.Fatalf("route map before any delivery: %q, %v", m, err)
 	}
 	// Deliver something.
 	src, dst := 0, 0
@@ -222,7 +222,10 @@ func TestRouteMap(t *testing.T) {
 	}
 	_ = net.Send(src, dst, []byte("x"))
 	net.RunFor(10)
-	m := net.RouteMap(60, 30)
+	m, err := net.RouteMap(60, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m == "" {
 		t.Skip("undeliverable placement")
 	}

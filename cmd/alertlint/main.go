@@ -1,0 +1,65 @@
+// Command alertlint runs the repository's determinism and error-discipline
+// analyzers (internal/lint) over Go packages.
+//
+// Usage:
+//
+//	go run ./cmd/alertlint ./...
+//
+// It exits non-zero if any analyzer reports a finding.
+//
+// The binary speaks two protocols. Invoked with package patterns it acts as
+// the driver: it re-executes itself through `go vet -vettool`, which hands
+// the build system all package loading, caching and fact plumbing — the same
+// machinery the standard vet analyzers use. Invoked by the go command (with
+// -V=full, -flags, or a *.cfg compilation-unit file) it acts as the analysis
+// tool via unitchecker.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"alertmanet/internal/lint"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+)
+
+func main() {
+	if toolInvocation(os.Args[1:]) {
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alertlint: cannot locate own binary: %v\n", err)
+		os.Exit(2)
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "alertlint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// toolInvocation reports whether the arguments are the go command's
+// vet-tool protocol rather than user-supplied package patterns.
+func toolInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

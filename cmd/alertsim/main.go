@@ -174,8 +174,13 @@ func printRouteMap(sc experiment.Scenario, svgPath string) {
 		}
 		fmt.Println("route of one delivered packet ('S' source, 'D' destination,")
 		fmt.Println("numbered relays in hop order, '#' destination zone):")
-		fmt.Print(trace.RouteMap(w.Net.Field(), positions, r.Path, r.Src, r.Dst,
-			zd, 76, 30))
+		m, err := trace.RouteMap(w.Net.Field(), positions, r.Path, r.Src, r.Dst,
+			zd, 76, 30)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(m)
 		return
 	}
 	fmt.Println("(no packet delivered in the first 10 s; no map)")

@@ -48,7 +48,11 @@ func main() {
 		fmt.Println("the route was assembled from random forwarders — no node on it")
 		fmt.Println("knew the source or destination identity or position:")
 		fmt.Println()
-		fmt.Print(net.RouteMap(76, 28))
+		routeMap, err := net.RouteMap(76, 28)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(routeMap)
 		fmt.Println("('S' source, 'D' destination, digits = relays in hop order,")
 		fmt.Println(" '#' = destination zone Z_D, '.' = other nodes)")
 	} else {

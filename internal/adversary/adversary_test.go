@@ -20,7 +20,7 @@ func (p *pinned) Field() geo.Rect                      { return field }
 
 func mkMedium(pos ...geo.Point) (*sim.Engine, *medium.Medium) {
 	eng := sim.NewEngine()
-	med := medium.New(eng, &pinned{pos: pos}, medium.DefaultParams(), rng.New(1))
+	med := medium.MustNew(eng, &pinned{pos: pos}, medium.DefaultParams(), rng.New(1))
 	return eng, med
 }
 

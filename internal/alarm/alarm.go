@@ -118,12 +118,14 @@ func (p *Protocol) Collector() *metrics.Collector { return p.col }
 func (p *Protocol) Router() *gpsr.Router { return p.router }
 
 // Send routes one application packet along the shortest geographic path.
-func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+// The error is always nil; the signature matches the experiment harness's
+// Proto interface.
+func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, error) {
 	rec := p.col.Start(src, dst, p.net.Eng.Now())
 	entry, ok := p.loc.Lookup(dst)
 	if !ok {
 		p.col.Complete(rec, 0, false)
-		return rec
+		return rec, nil
 	}
 	m := &meta{rec: rec}
 	finish := func(pkt *gpsr.Packet, at float64, delivered bool) {
@@ -155,5 +157,5 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketReco
 	// Source-side encryption for the first hop.
 	p.net.NotePub(1)
 	p.net.Eng.Schedule(p.net.Costs.PubEncrypt, func() { p.router.Send(src, pkt) })
-	return rec
+	return rec, nil
 }

@@ -135,13 +135,15 @@ func (p *Protocol) virtualDest(s, d geo.Point) geo.Point {
 	return p.net.Field().Clamp(v)
 }
 
-// Send routes one application packet and returns its metrics record.
-func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+// Send routes one application packet and returns its metrics record. The
+// error is always nil; the signature matches the experiment harness's Proto
+// interface.
+func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, error) {
 	rec := p.col.Start(src, dst, p.net.Eng.Now())
 	entry, ok := p.loc.Lookup(dst)
 	if !ok {
 		p.col.Complete(rec, 0, false)
-		return rec
+		return rec, nil
 	}
 	m := &meta{rec: rec, dst: dst}
 	if p.cfg.CompleteTimeout > 0 {
@@ -167,7 +169,7 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketReco
 	}
 	// Source-side initial encryption for the first hop.
 	p.charge(func() { p.router.Send(src, pkt) })
-	return rec
+	return rec, nil
 }
 
 // deliver runs at D: one decryption charge, then record delivery.

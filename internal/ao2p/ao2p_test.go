@@ -19,7 +19,7 @@ func build(seed int64, n int) (*sim.Engine, *node.Network, *Protocol) {
 	eng := sim.NewEngine()
 	src := rng.New(seed)
 	mob := mobility.NewStatic(field, n, src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.DefaultCostModel(),
 		node.Config{}, src)
 	loc := locservice.New(net, locservice.DefaultConfig())
@@ -41,7 +41,7 @@ func farPair(net *node.Network, minDist float64) (medium.NodeID, medium.NodeID) 
 func TestDelivery(t *testing.T) {
 	eng, net, p := build(1, 200)
 	s, d := farPair(net, 600)
-	rec := p.Send(s, d, []byte("x"))
+	rec, _ := p.Send(s, d, []byte("x"))
 	eng.RunUntil(30)
 	if !rec.Delivered {
 		t.Fatal("AO2P failed to deliver in dense static network")
@@ -54,7 +54,7 @@ func TestDelivery(t *testing.T) {
 func TestPerHopPublicKeyLatency(t *testing.T) {
 	eng, net, p := build(2, 200)
 	s, d := farPair(net, 600)
-	rec := p.Send(s, d, []byte("x"))
+	rec, _ := p.Send(s, d, []byte("x"))
 	eng.RunUntil(60)
 	if !rec.Delivered {
 		t.Skip("undeliverable pair")
@@ -119,12 +119,12 @@ func TestUndeliveredOnIsland(t *testing.T) {
 	src := rng.New(6)
 	pos := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 900, Y: 900}}
 	mob := &pinned{pos: pos}
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	loc := locservice.New(net, locservice.DefaultConfig())
 	p := New(net, loc, DefaultConfig(), src)
-	rec := p.Send(0, 2, []byte("x"))
+	rec, _ := p.Send(0, 2, []byte("x"))
 	eng.RunUntil(30)
 	if rec.Delivered {
 		t.Fatal("cross-island delivery should fail")
@@ -144,7 +144,7 @@ func TestLocServiceFailure(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(7)
 	mob := mobility.NewStatic(field, 20, src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	loc := locservice.New(net, locservice.DefaultConfig())
@@ -152,7 +152,7 @@ func TestLocServiceFailure(t *testing.T) {
 	for i := 0; i < loc.NumServers(); i++ {
 		loc.FailServer(i)
 	}
-	rec := p.Send(0, 5, []byte("x"))
+	rec, _ := p.Send(0, 5, []byte("x"))
 	eng.RunUntil(5)
 	if rec.Delivered || p.Collector().Completed() != 1 {
 		t.Fatal("send without location service should fail fast")

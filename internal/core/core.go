@@ -211,10 +211,11 @@ type Protocol struct {
 }
 
 // New creates the protocol, derives H if unset, and attaches the medium
-// demux handler on every node.
-func New(net *node.Network, loc *locservice.Service, cfg Config, src *rng.Source) *Protocol {
+// demux handler on every node. An invalid configuration (non-positive
+// PacketSize or K) is an error.
+func New(net *node.Network, loc *locservice.Service, cfg Config, src *rng.Source) (*Protocol, error) {
 	if cfg.PacketSize <= 0 || cfg.K <= 0 {
-		panic(fmt.Sprintf("core: invalid config %+v", cfg))
+		return nil, fmt.Errorf("core: invalid config %+v", cfg)
 	}
 	p := &Protocol{
 		net:      net,
@@ -247,6 +248,16 @@ func New(net *node.Network, loc *locservice.Service, cfg Config, src *rng.Source
 				p.counts.CoversHeard++
 			}
 		})
+	}
+	return p, nil
+}
+
+// MustNew is New for callers whose configuration is known good (tests and
+// presets); it panics on error.
+func MustNew(net *node.Network, loc *locservice.Service, cfg Config, src *rng.Source) *Protocol {
+	p, err := New(net, loc, cfg, src)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }

@@ -33,11 +33,11 @@ func build(seed int64, n int, speed float64, cfg Config) *world {
 	} else {
 		mob = mobility.NewRandomWaypoint(field, n, mobility.Fixed(speed), src)
 	}
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.DefaultCostModel(),
 		node.DefaultConfig(), src)
 	loc := locservice.New(net, locservice.DefaultConfig())
-	prot := New(net, loc, cfg, src)
+	prot := MustNew(net, loc, cfg, src)
 	return &world{eng: eng, net: net, loc: loc, prot: prot, mob: mob}
 }
 
@@ -63,7 +63,7 @@ func TestBasicDelivery(t *testing.T) {
 		}
 		gotData = data
 	}
-	rec := w.prot.Send(s, d, []byte("hello alert"))
+	rec, _ := w.prot.Send(s, d, []byte("hello alert"))
 	w.eng.RunUntil(30)
 	if !rec.Delivered {
 		t.Fatal("packet not delivered")
@@ -85,7 +85,7 @@ func TestBasicDelivery(t *testing.T) {
 func TestDeliveryLatencyIncludesCrypto(t *testing.T) {
 	w := build(2, 200, 0, DefaultConfig())
 	s, d := w.farPair(500)
-	rec := w.prot.Send(s, d, []byte("x"))
+	rec, _ := w.prot.Send(s, d, []byte("x"))
 	w.eng.RunUntil(30)
 	if !rec.Delivered {
 		t.Skip("pair undeliverable in this placement")
@@ -102,9 +102,9 @@ func TestDeliveryLatencyIncludesCrypto(t *testing.T) {
 func TestSecondPacketCheaper(t *testing.T) {
 	w := build(3, 200, 0, DefaultConfig())
 	s, d := w.farPair(500)
-	rec1 := w.prot.Send(s, d, []byte("first"))
+	rec1, _ := w.prot.Send(s, d, []byte("first"))
 	w.eng.RunUntil(30)
-	rec2 := w.prot.Send(s, d, []byte("second"))
+	rec2, _ := w.prot.Send(s, d, []byte("second"))
 	w.eng.RunUntil(60)
 	if !rec1.Delivered || !rec2.Delivered {
 		t.Skip("pair undeliverable in this placement")
@@ -151,7 +151,7 @@ func TestDefaultHFromK(t *testing.T) {
 func TestRandomForwardersUsed(t *testing.T) {
 	w := build(6, 200, 0, DefaultConfig())
 	s, d := w.farPair(800)
-	rec := w.prot.Send(s, d, []byte("x"))
+	rec, _ := w.prot.Send(s, d, []byte("x"))
 	w.eng.RunUntil(30)
 	if !rec.Delivered {
 		t.Skip("pair undeliverable")
@@ -169,7 +169,7 @@ func TestRoutesVaryAcrossPackets(t *testing.T) {
 	paths := map[string]bool{}
 	const packets = 8
 	for i := 0; i < packets; i++ {
-		rec := w.prot.Send(s, d, []byte("x"))
+		rec, _ := w.prot.Send(s, d, []byte("x"))
 		w.eng.RunUntil(float64(i+1) * 20)
 		key := ""
 		for _, id := range rec.Path {
@@ -259,12 +259,12 @@ func TestCompleteTimeoutMarksUndelivered(t *testing.T) {
 		pos[i] = geo.Point{X: float64(i) * 50, Y: 900}
 	}
 	mob := &pinned{pos: pos}
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	loc := locservice.New(net, locservice.DefaultConfig())
-	prot := New(net, loc, DefaultConfig(), src)
-	rec := prot.Send(0, 9, []byte("x"))
+	prot := MustNew(net, loc, DefaultConfig(), src)
+	rec, _ := prot.Send(0, 9, []byte("x"))
 	eng.RunUntil(30)
 	if rec.Delivered {
 		t.Fatal("cross-island delivery should fail")
@@ -291,7 +291,7 @@ func TestNotifyAndGoCoverTraffic(t *testing.T) {
 			covers++
 		}
 	})
-	rec := w.prot.Send(s, d, []byte("x"))
+	rec, _ := w.prot.Send(s, d, []byte("x"))
 	w.eng.RunUntil(30)
 	nNeighbors := len(w.net.Med.Neighbors(s))
 	if covers == 0 {
@@ -426,7 +426,7 @@ func TestConfirmAndRetryOnLoss(t *testing.T) {
 	mob := mobility.NewStatic(field, 200, src)
 	par := medium.DefaultParams()
 	par.LossRate = 0.35
-	med := medium.New(eng, mob, par, src)
+	med := medium.MustNew(eng, mob, par, src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	loc := locservice.New(net, locservice.DefaultConfig())
@@ -435,7 +435,7 @@ func TestConfirmAndRetryOnLoss(t *testing.T) {
 	cfg.ConfirmTimeout = 1.0
 	cfg.MaxRetries = 4
 	cfg.CompleteTimeout = 20
-	prot := New(net, loc, cfg, src)
+	prot := MustNew(net, loc, cfg, src)
 	delivered := 0
 	for i := 0; i < 10; i++ {
 		s := medium.NodeID(src.Intn(200))
@@ -443,7 +443,7 @@ func TestConfirmAndRetryOnLoss(t *testing.T) {
 		if s == d {
 			continue
 		}
-		rec := prot.Send(s, d, []byte("x"))
+		rec, _ := prot.Send(s, d, []byte("x"))
 		_ = rec
 	}
 	eng.RunUntil(60)
@@ -467,14 +467,14 @@ func TestNAKTriggersResend(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(18)
 	mob := mobility.NewStatic(field, 200, src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	loc := locservice.New(net, locservice.DefaultConfig())
 	cfg := DefaultConfig()
 	cfg.NAKs = true
 	cfg.CompleteTimeout = 40
-	prot := New(net, loc, cfg, src)
+	prot := MustNew(net, loc, cfg, src)
 	var s, d medium.NodeID = 0, 0
 	for i := 1; i < 200; i++ {
 		if mob.Position(0, 0).Dist(mob.Position(i, 0)) > 500 {
@@ -538,7 +538,7 @@ func TestLocServiceFailureBlocksSend(t *testing.T) {
 	for i := 0; i < w.loc.NumServers(); i++ {
 		w.loc.FailServer(i)
 	}
-	rec := w.prot.Send(0, 10, []byte("x"))
+	rec, _ := w.prot.Send(0, 10, []byte("x"))
 	w.eng.RunUntil(10)
 	if rec.Delivered {
 		t.Fatal("send should fail with no location service")
@@ -678,7 +678,7 @@ func TestCoverPacketsAreNotForwarded(t *testing.T) {
 	cfg.NotifyAndGo = true
 	w := build(44, 200, 0, cfg)
 	s, d := w.farPair(500)
-	rec := w.prot.Send(s, d, []byte("x"))
+	rec, _ := w.prot.Send(s, d, []byte("x"))
 	w.eng.RunUntil(10)
 	if !rec.Delivered {
 		t.Skip("undeliverable placement")

@@ -25,16 +25,20 @@ type ReplyFunc func(data []byte, t float64)
 // when the destination's response arrives. The destination's behaviour
 // comes from the protocol-wide OnRequest handler; without one, requests are
 // delivered like plain data and no response flows. The returned record
-// tracks the request leg; the reply's hops accumulate onto it.
-func (p *Protocol) Request(src, dst medium.NodeID, query []byte, onReply ReplyFunc) *metrics.PacketRecord {
-	rec := p.Send(src, dst, query)
+// tracks the request leg; the reply's hops accumulate onto it. A session
+// establishment failure propagates like Send's.
+func (p *Protocol) Request(src, dst medium.NodeID, query []byte, onReply ReplyFunc) (*metrics.PacketRecord, error) {
+	rec, err := p.Send(src, dst, query)
+	if err != nil {
+		return rec, err
+	}
 	// Send stored the flight in the session; mark it as a request.
 	sess := p.session(src, dst)
 	if f, ok := sess.flights[sess.nextSeq-1]; ok {
 		f.env.isRequest = true
 		f.onReply = onReply
 	}
-	return rec
+	return rec, nil
 }
 
 // respond runs at the destination after a request is delivered: build the

@@ -18,7 +18,7 @@ func TestRequestReplyRoundTrip(t *testing.T) {
 	}
 	var reply []byte
 	var replyAt float64
-	rec := w.prot.Request(s, d, []byte("status?"), func(data []byte, at float64) {
+	rec, _ := w.prot.Request(s, d, []byte("status?"), func(data []byte, at float64) {
 		reply = data
 		replyAt = at
 	})
@@ -45,7 +45,7 @@ func TestRequestReplyHopsAccumulate(t *testing.T) {
 	s, d := w.farPair(600)
 	w.prot.OnRequest = func(_ medium.NodeID, q []byte) []byte { return q }
 	replied := false
-	rec := w.prot.Request(s, d, []byte("ping"), func([]byte, float64) { replied = true })
+	rec, _ := w.prot.Request(s, d, []byte("ping"), func([]byte, float64) { replied = true })
 	w.eng.RunUntil(30)
 	if !replied {
 		t.Skip("round trip failed in this placement")
@@ -61,7 +61,7 @@ func TestRequestWithoutHandlerDeliversOnly(t *testing.T) {
 	w := build(32, 200, 0, DefaultConfig())
 	s, d := w.farPair(500)
 	replied := false
-	rec := w.prot.Request(s, d, []byte("q"), func([]byte, float64) { replied = true })
+	rec, _ := w.prot.Request(s, d, []byte("q"), func([]byte, float64) { replied = true })
 	w.eng.RunUntil(30)
 	if rec.Delivered && replied {
 		t.Fatal("reply delivered without an OnRequest handler")

@@ -5,6 +5,8 @@
 package core
 
 import (
+	"fmt"
+
 	"alertmanet/internal/crypt"
 	"alertmanet/internal/geo"
 	"alertmanet/internal/gpsr"
@@ -14,7 +16,12 @@ import (
 
 // Send routes one application packet from src to dst and returns its
 // metrics record (finalized asynchronously as the simulation runs).
-func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+//
+// A failure to establish the session's cryptographic material (the
+// destination key rejecting the session key or source zone) completes the
+// record as undelivered and returns the error; the session stays
+// unestablished so a later packet retries the handshake.
+func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, error) {
 	now := p.net.Eng.Now()
 	rec := p.col.Start(src, dst, now)
 	p.counts.DataSent++
@@ -23,7 +30,7 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketReco
 	if !ok {
 		// Location service unavailable: packet cannot even start.
 		p.col.Complete(rec, 0, false)
-		return rec
+		return rec, nil
 	}
 
 	sess := p.session(src, dst)
@@ -32,18 +39,20 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketReco
 		// Establish the session: draw K_s, encrypt it and the source
 		// zone under K_pub^D (two public-key operations, charged to
 		// the first packet).
+		key := crypt.NewSymKey(p.rnd)
+		encKey, err := p.net.Suite.EncryptPub(entry.Pub, key[:])
+		if err != nil {
+			p.col.Complete(rec, 0, false)
+			return rec, fmt.Errorf("core: session key encryption: %w", err)
+		}
+		zs := geo.DestZone(p.field, p.net.Med.PositionNow(src), p.hDef, geo.Vertical)
+		encLZS, err := p.net.Suite.EncryptPub(entry.Pub, encodeRect(zs))
+		if err != nil {
+			p.col.Complete(rec, 0, false)
+			return rec, fmt.Errorf("core: source zone encryption: %w", err)
+		}
 		sess.estCharge = true
-		sess.key = crypt.NewSymKey(p.rnd)
-		var err error
-		sess.encKey, err = p.net.Suite.EncryptPub(entry.Pub, sess.key[:])
-		if err != nil {
-			panic("core: session key encryption failed: " + err.Error())
-		}
-		sess.zs = geo.DestZone(p.field, p.net.Med.PositionNow(src), p.hDef, geo.Vertical)
-		sess.encLZS, err = p.net.Suite.EncryptPub(entry.Pub, encodeRect(sess.zs))
-		if err != nil {
-			panic("core: source zone encryption failed: " + err.Error())
-		}
+		sess.key, sess.encKey, sess.zs, sess.encLZS = key, encKey, zs, encLZS
 		p.net.NotePub(2) // the ops happen regardless of latency billing
 		if p.cfg.ChargeSessionSetup {
 			setupCharges = 2
@@ -97,7 +106,7 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketReco
 	} else {
 		p.net.Eng.Schedule(delay, launch)
 	}
-	return rec
+	return rec, nil
 }
 
 func (p *Protocol) randomDir() geo.Direction {

@@ -205,9 +205,13 @@ func (sc Scenario) Validate() error {
 	return nil
 }
 
-// Proto is the common protocol surface the harness drives.
+// Proto is the common protocol surface the harness drives. Send's error
+// reports a failure to even launch the packet (ALERT's session-key or
+// source-zone encryption being rejected by the destination key); the
+// metrics record is completed as undelivered in that case, so harness code
+// that only aggregates metrics may ignore it.
 type Proto interface {
-	Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord
+	Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, error)
 	Collector() *metrics.Collector
 }
 
@@ -267,7 +271,10 @@ func Build(sc Scenario) (*World, error) {
 	if sc.HelloInterval > 0 {
 		par.HelloInterval = sc.HelloInterval
 	}
-	med := medium.New(eng, mob, par, src)
+	med, err := medium.New(eng, mob, par, src)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), sc.Costs,
 		node.DefaultConfig(), src)
 	loc := locservice.New(net, locservice.Config{
@@ -283,7 +290,10 @@ func Build(sc Scenario) (*World, error) {
 	case ALERT:
 		cfg := sc.Alert
 		cfg.PacketSize = sc.PacketSize
-		p := core.New(net, loc, cfg, src)
+		p, err := core.New(net, loc, cfg, src)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
 		w.Alert = p
 		w.Proto = p
 	case GPSR:
@@ -499,8 +509,12 @@ func routeJaccard(col *metrics.Collector, pairs []Pair) float64 {
 		p := Pair{S: r.Src, D: r.Dst}
 		byPair[p] = append(byPair[p], r.Path)
 	}
+	// Iterate the pairs slice, not the byPair map: float addition is not
+	// associative, so summing in map order drifts in the last ULP from run
+	// to run (caught by TestSeedDeterminismParallel).
 	total, n := 0.0, 0
-	for _, routes := range byPair {
+	for _, p := range pairs {
+		routes := byPair[p]
 		for i := 1; i < len(routes); i++ {
 			total += jaccardIDs(routes[i-1], routes[i])
 			n++

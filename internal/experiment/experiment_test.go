@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -300,14 +301,53 @@ func TestDeterministicRuns(t *testing.T) {
 	sc.Duration = 20
 	a := MustRun(sc)
 	b := MustRun(sc)
-	if a.DeliveryRate != b.DeliveryRate || a.MeanLatency != b.MeanLatency ||
-		a.HopsPerPacket != b.HopsPerPacket || a.Participants != b.Participants {
-		t.Fatalf("same seed produced different results: %+v vs %+v", a, b)
+	// Every field — counters, means, percentiles, the cumulative delivery
+	// curve — must match bit-for-bit: a run is a pure function of
+	// (Scenario, seed). Comparing the whole struct means a new
+	// nondeterministic metric cannot slip in unnoticed.
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results:\n%+v\nvs\n%+v", a, b)
 	}
 	sc.Seed = 999
 	c := MustRun(sc)
 	if a.MeanLatency == c.MeanLatency && a.Participants == c.Participants {
 		t.Fatal("different seeds produced identical results")
+	}
+}
+
+// TestSeedDeterminismParallel is the regression test for the determinism
+// contract alertlint enforces statically: results must not depend on
+// scheduling. A seed's Result is identical whether the run executes alone
+// or concurrently with other seeds on RunParallel's worker pool, and two
+// parallel sweeps agree with each other.
+func TestSeedDeterminismParallel(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Duration = 20
+	const seeds = 4
+
+	par1, err := RunParallel(sc, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par2, err := RunParallel(sc, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par1, par2) {
+		t.Fatalf("two parallel sweeps disagree:\n%+v\nvs\n%+v", par1, par2)
+	}
+
+	for i := 0; i < seeds; i++ {
+		run := sc
+		run.Seed = int64(i + 1) // RunParallel assigns seeds 1..N
+		seq, err := Run(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par1[i]) {
+			t.Fatalf("seed %d: sequential and parallel results differ:\n%+v\nvs\n%+v",
+				run.Seed, seq, par1[i])
+		}
 	}
 }
 
@@ -704,7 +744,7 @@ type sendTap struct {
 	byPair map[Pair][]float64
 }
 
-func (s *sendTap) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+func (s *sendTap) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, error) {
 	s.times = append(s.times, s.eng.Now())
 	if s.byPair == nil {
 		s.byPair = map[Pair][]float64{}

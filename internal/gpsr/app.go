@@ -56,13 +56,15 @@ func (a *App) Collector() *metrics.Collector { return a.col }
 func (a *App) Router() *Router { return a.router }
 
 // Send routes one application packet from src to dst by plain GPSR and
-// returns its metrics record.
-func (a *App) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+// returns its metrics record. The error is always nil; the signature
+// matches the experiment harness's Proto interface, where ALERT's session
+// setup can fail.
+func (a *App) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, error) {
 	rec := a.col.Start(src, dst, a.net.Eng.Now())
 	entry, ok := a.loc.Lookup(dst)
 	if !ok {
 		a.col.Complete(rec, 0, false)
-		return rec
+		return rec, nil
 	}
 	completed := false
 	finish := func(at float64, delivered bool) {
@@ -88,5 +90,5 @@ func (a *App) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
 		},
 	}
 	a.router.Send(src, pkt)
-	return rec
+	return rec, nil
 }

@@ -22,7 +22,7 @@ func buildApp(seed int64, n int, speed float64, locCfg locservice.Config) (*sim.
 	} else {
 		mob = mobility.NewRandomWaypoint(field, n, mobility.Fixed(speed), src)
 	}
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	loc := locservice.New(net, locCfg)
@@ -44,7 +44,7 @@ func appFarPair(net *node.Network, minDist float64) (medium.NodeID, medium.NodeI
 func TestAppDelivery(t *testing.T) {
 	eng, net, _, app := buildApp(1, 200, 0, locservice.DefaultConfig())
 	s, d := appFarPair(net, 600)
-	rec := app.Send(s, d, []byte("x"))
+	rec, _ := app.Send(s, d, []byte("x"))
 	eng.RunUntil(30)
 	if !rec.Delivered {
 		t.Fatal("baseline GPSR failed in dense static network")
@@ -64,7 +64,7 @@ func TestAppShortestPathStable(t *testing.T) {
 	s, d := appFarPair(net, 600)
 	var paths [][]medium.NodeID
 	for i := 0; i < 3; i++ {
-		rec := app.Send(s, d, []byte("x"))
+		rec, _ := app.Send(s, d, []byte("x"))
 		eng.RunUntil(float64(i+1) * 10)
 		paths = append(paths, rec.Path)
 	}
@@ -113,7 +113,7 @@ func TestAppLocServiceDown(t *testing.T) {
 	for i := 0; i < loc.NumServers(); i++ {
 		loc.FailServer(i)
 	}
-	rec := app.Send(0, 5, []byte("x"))
+	rec, _ := app.Send(0, 5, []byte("x"))
 	eng.RunUntil(5)
 	if rec.Delivered || app.Collector().Completed() != 1 {
 		t.Fatal("send without location service should fail fast")
@@ -124,12 +124,12 @@ func TestAppUndeliveredCompletes(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(5)
 	mob := &fixedModel{pos: []geo.Point{{X: 0, Y: 0}, {X: 900, Y: 900}}}
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	loc := locservice.New(net, locservice.DefaultConfig())
 	app := NewApp(net, loc, DefaultAppConfig())
-	rec := app.Send(0, 1, []byte("x"))
+	rec, _ := app.Send(0, 1, []byte("x"))
 	eng.RunUntil(30)
 	if rec.Delivered {
 		t.Fatal("unreachable destination delivered")

@@ -25,7 +25,7 @@ func (f *fixedModel) Field() geo.Rect                      { return field }
 func netFromModel(mob mobility.Model, seed int64) (*sim.Engine, *node.Network, *Router) {
 	eng := sim.NewEngine()
 	src := rng.New(seed)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	r := New(net)
@@ -225,7 +225,7 @@ func TestRandomNetworkDeliveryRate(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(9)
 	mob := mobility.NewStatic(field, 200, src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	r := New(net)
@@ -263,7 +263,7 @@ func TestGreedyPathIsMonotone(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(10)
 	mob := mobility.NewStatic(field, 150, src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	r := New(net)
@@ -427,7 +427,7 @@ func TestQuickNextGreedyImproves(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(22)
 	mob := mobility.NewStatic(field, 80, src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	net := node.NewNetwork(eng, med, crypt.NewFastSuite(src), crypt.ZeroCostModel(),
 		node.Config{}, src)
 	r := New(net)

@@ -1,0 +1,86 @@
+// Package floatcompare defines an analyzer guarding the numeric packages
+// against exact floating-point equality. In internal/geo, internal/metrics
+// and internal/stats an == between floats is almost always a latent bug:
+// zone partition geometry and aggregate statistics feed the paper's figures,
+// and a comparison that holds on one architecture's FMA contraction and
+// fails on another quietly changes results.
+package floatcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"alertmanet/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Marker is the escape-hatch comment: //lint:allowfloatcompare <reason>.
+const Marker = "allowfloatcompare"
+
+// Packages are the numeric packages the contract covers. Elsewhere float
+// equality is left to reviewers: protocol code compares simulated timestamps
+// that are copied, never recomputed, so exact equality is meaningful there.
+var Packages = []string{"internal/geo", "internal/metrics", "internal/stats"}
+
+// epsilonHelper matches function names that exist to encapsulate a tolerance
+// comparison; inside them exact comparisons are the implementation.
+var epsilonHelper = regexp.MustCompile(`(?i)(approx|almost|epsilon|nearly)`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcompare",
+	Doc: "forbid exact float equality in the numeric packages\n\n" +
+		"In internal/geo, internal/metrics and internal/stats, == and != between\n" +
+		"floating-point operands must go through an epsilon helper (a function whose\n" +
+		"name contains approx/almost/epsilon/nearly). _test.go files are exempt.\n" +
+		"Escape hatch: //lint:allowfloatcompare <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PackageMatchesAny(pass.Pkg.Path(), Packages) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	markers := lintutil.NewMarkers(pass)
+
+	ins.WithStack([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return true
+		}
+		if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+			return true
+		}
+		if lintutil.IsTestFile(pass, be.Pos()) {
+			return true
+		}
+		if epsilonHelper.MatchString(lintutil.EnclosingFuncName(stack)) {
+			return true
+		}
+		if _, ok := markers.Reason(be.Pos(), Marker); ok {
+			return true
+		}
+		pass.Reportf(be.OpPos,
+			"exact float comparison (%s) in a numeric package: use an epsilon helper or annotate //lint:allowfloatcompare <reason>",
+			be.Op)
+		return true
+	})
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floatcompare_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/floatcompare"
+	"alertmanet/internal/lint/linttest"
+)
+
+func TestFloatCompare(t *testing.T) {
+	linttest.Run(t, floatcompare.Analyzer, "geo", "other")
+}

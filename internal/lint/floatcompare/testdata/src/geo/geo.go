@@ -1,0 +1,36 @@
+// Fixture: a package whose final path element matches internal/geo, so the
+// float-equality contract applies.
+package geo
+
+// bad compares recomputed coordinates exactly.
+func bad(a, b float64) bool {
+	return a == b // want `exact float comparison \(==\)`
+}
+
+// badNeq is the negated form.
+func badNeq(a, b float64) bool {
+	return a != b // want `exact float comparison \(!=\)`
+}
+
+// ApproxEqual is an epsilon helper: exact comparisons are its
+// implementation and are accepted.
+func ApproxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// intsFine compares integers, which is always exact.
+func intsFine(a, b int) bool {
+	return a == b
+}
+
+// annotated carries the escape hatch with a reason and is accepted.
+func annotated(a float64) bool {
+	return a == 0 //lint:allowfloatcompare fixture: zero is assigned, never computed
+}

@@ -1,0 +1,8 @@
+// Fixture: a package outside the numeric set; the contract does not apply
+// and nothing here is flagged.
+package other
+
+// Same compares simulated timestamps that are copied, never recomputed.
+func Same(a, b float64) bool {
+	return a == b
+}

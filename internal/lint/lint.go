@@ -1,0 +1,27 @@
+// Package lint assembles the alertlint analyzer suite: the static half of
+// the simulator's determinism guarantee. Each analyzer enforces one contract
+// that makes a run a pure function of (Scenario, seed); DESIGN.md's
+// "Determinism contract" section is the prose counterpart.
+package lint
+
+import (
+	"alertmanet/internal/lint/floatcompare"
+	"alertmanet/internal/lint/maporder"
+	"alertmanet/internal/lint/norawrand"
+	"alertmanet/internal/lint/nowallclock"
+	"alertmanet/internal/lint/panicdiscipline"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full suite in a fresh slice, one analyzer per
+// contract.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		norawrand.Analyzer,
+		nowallclock.Analyzer,
+		maporder.Analyzer,
+		panicdiscipline.Analyzer,
+		floatcompare.Analyzer,
+	}
+}

@@ -1,0 +1,266 @@
+// Package linttest runs an analyzer over fixture packages and checks its
+// diagnostics against // want comments — a self-contained replacement for
+// golang.org/x/tools/go/analysis/analysistest, which (unlike the analysis
+// core this repo vendors from the Go toolchain) depends on go/packages and
+// cannot be vendored offline.
+//
+// Fixtures live under testdata/src/<importpath>/ next to the analyzer's
+// test, mirroring analysistest's layout. Imports between fixture packages
+// resolve inside testdata/src; everything else falls back to the standard
+// library, type-checked from source. Expectations are analysistest-style:
+//
+//	rand.Intn(6) // want `use of math/rand.Intn`
+//
+// with one or more backquoted or double-quoted regexps per comment, matched
+// against the diagnostics reported on that line. A fixture line with no
+// want comment must produce no diagnostic, so every accepted-pattern case
+// is asserted simply by existing.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer (and, transitively, its Requires dependencies), failing t on any
+// mismatch between reported diagnostics and // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := newLoader("testdata/src")
+	for _, pkg := range pkgs {
+		p, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("loading fixture package %q: %v", pkg, err)
+		}
+		diags, err := runAnalyzer(a, p, map[*analysis.Analyzer][]analysis.Diagnostic{})
+		if err != nil {
+			t.Fatalf("running %s on %q: %v", a.Name, pkg, err)
+		}
+		checkWants(t, l.fset, p, diags)
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	fset  *token.FileSet
+}
+
+type loader struct {
+	root   string
+	fset   *token.FileSet
+	stdlib types.Importer
+	loaded map[string]*fixturePkg
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:   root,
+		fset:   fset,
+		stdlib: importer.ForCompiler(fset, "source", nil),
+		loaded: map[string]*fixturePkg{},
+	}
+}
+
+// Import implements types.Importer: fixture packages shadow the standard
+// library, so a fixture can stand in for internal/rng under the path "rng".
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, path); isDir(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+	p := &fixturePkg{path: path, files: files, pkg: pkg, info: info, fset: l.fset}
+	l.loaded[path] = p
+	return p, nil
+}
+
+// runAnalyzer applies a (running its Requires first) and returns its
+// diagnostics.
+func runAnalyzer(a *analysis.Analyzer, p *fixturePkg, seen map[*analysis.Analyzer][]analysis.Diagnostic) ([]analysis.Diagnostic, error) {
+	resultOf := map[*analysis.Analyzer]interface{}{}
+	var run func(a *analysis.Analyzer) (interface{}, error)
+	done := map[*analysis.Analyzer]interface{}{}
+	run = func(a *analysis.Analyzer) (interface{}, error) {
+		if res, ok := done[a]; ok {
+			return res, nil
+		}
+		for _, req := range a.Requires {
+			res, err := run(req)
+			if err != nil {
+				return nil, err
+			}
+			resultOf[req] = res
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       p.fset,
+			Files:      p.files,
+			Pkg:        p.pkg,
+			TypesInfo:  p.info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   copyResults(resultOf),
+			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+			ReadFile:   os.ReadFile,
+			ImportObjectFact: func(types.Object, analysis.Fact) bool {
+				return false
+			},
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool {
+				return false
+			},
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		seen[a] = diags
+		done[a] = res
+		return res, nil
+	}
+	if _, err := run(a); err != nil {
+		return nil, err
+	}
+	return seen[a], nil
+}
+
+func copyResults(m map[*analysis.Analyzer]interface{}) map[*analysis.Analyzer]interface{} {
+	out := make(map[*analysis.Analyzer]interface{}, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// wantRe extracts the quoted regexps of a // want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, p *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,106 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+func TestPackageMatches(t *testing.T) {
+	cases := []struct {
+		path, pattern string
+		want          bool
+	}{
+		{"internal/rng", "internal/rng", true},
+		{"alertmanet/internal/rng", "internal/rng", true},
+		{"rng", "internal/rng", true},       // fixture short path
+		{"other/rng", "internal/rng", true}, // final element match
+		{"internal/rngx", "internal/rng", false},
+		{"alertmanet/internal/sim", "internal/rng", false},
+		{"strings", "internal/rng", false},
+	}
+	for _, c := range cases {
+		if got := PackageMatches(c.path, c.pattern); got != c.want {
+			t.Errorf("PackageMatches(%q, %q) = %v, want %v", c.path, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestHasPathElement(t *testing.T) {
+	if !HasPathElement("alertmanet/cmd/alertsim", "cmd") {
+		t.Error("cmd element not found in alertmanet/cmd/alertsim")
+	}
+	if HasPathElement("alertmanet/internal/cmdutil", "cmd") {
+		t.Error("cmdutil must not count as a cmd element")
+	}
+}
+
+const markerSrc = `package p
+
+func a() {
+	//lint:allowpanic checked by Validate
+	panic("x")
+}
+
+func b() {
+	panic("y") //lint:allowpanic trailing style
+}
+
+func c() {
+	//lint:allowpanic
+	panic("z")
+}
+
+func d() {
+	//lint:allowpanicky not the same marker
+	panic("w")
+}
+`
+
+// markerPositions extracts the panic call positions of markerSrc in order.
+func markerPositions(t *testing.T, fset *token.FileSet, f *ast.File) []token.Pos {
+	t.Helper()
+	var out []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				out = append(out, call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestMarkers(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", markerSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{Fset: fset, Files: []*ast.File{f}}
+	m := NewMarkers(pass)
+	panics := markerPositions(t, fset, f)
+	if len(panics) != 4 {
+		t.Fatalf("found %d panics, want 4", len(panics))
+	}
+
+	if reason, ok := m.Reason(panics[0], "allowpanic"); !ok || reason != "checked by Validate" {
+		t.Errorf("comment-above marker: got (%q, %v)", reason, ok)
+	}
+	if reason, ok := m.Reason(panics[1], "allowpanic"); !ok || reason != "trailing style" {
+		t.Errorf("trailing marker: got (%q, %v)", reason, ok)
+	}
+	if _, ok := m.Reason(panics[2], "allowpanic"); ok {
+		t.Error("bare marker must not provide a reason")
+	}
+	if !m.Present(panics[2], "allowpanic") {
+		t.Error("bare marker must still be present")
+	}
+	if m.Present(panics[3], "allowpanic") {
+		t.Error("allowpanicky must not satisfy allowpanic")
+	}
+}

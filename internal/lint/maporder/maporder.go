@@ -1,0 +1,222 @@
+// Package maporder defines an analyzer for the subtlest determinism hazard:
+// Go map iteration order is randomized per run, so a `range` over a map
+// whose body has order-sensitive effects — appending to a slice that is
+// never sorted, drawing from an rng.Source, or scheduling a simulation
+// event — produces a different trace on every execution even with a fixed
+// seed. The approved idiom is to collect the keys, sort them, and iterate
+// the sorted slice.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alertmanet/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Marker is the escape-hatch comment: //lint:allowmaporder <reason>, placed
+// on the `for ... range` line. It acknowledges the body's effects are
+// order-insensitive in a way the analyzer cannot prove (e.g. commutative
+// accumulation into a float is still flagged via append only, so the marker
+// mostly documents sorts that happen in a helper).
+const Marker = "allowmaporder"
+
+// randPkgs are packages whose methods consume randomness. math/rand appears
+// because *rng.Source promotes the embedded *rand.Rand's methods.
+var randPkgs = []string{"internal/rng", "math/rand", "math/rand/v2"}
+
+// schedulerMethods are the sim.Engine methods that enqueue events; calling
+// one per map key encodes the iteration order into the event heap's FIFO
+// tie-break sequence.
+var schedulerMethods = map[string]bool{
+	"Schedule": true, "At": true, "Ticker": true, "TickerUntil": true,
+}
+
+// sortCalls are the sort/slices package functions that establish a
+// deterministic order over an appended slice.
+var sortCalls = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive effects inside map iteration\n\n" +
+		"Ranging over a map while appending to a slice (that is not subsequently\n" +
+		"sorted in the same function), drawing from an rng.Source, or scheduling a\n" +
+		"sim.Engine event leaks Go's randomized map order into results, breaking\n" +
+		"seed reproducibility. Sort the keys first and range over the slice.\n" +
+		"Escape hatch: //lint:allowmaporder <reason> on the range statement.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	markers := lintutil.NewMarkers(pass)
+
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if lintutil.IsTestFile(pass, rs.Pos()) {
+			return true
+		}
+		if _, ok := markers.Reason(rs.Pos(), Marker); ok {
+			return true
+		}
+		body := enclosingBody(stack)
+		checkMapRange(pass, rs, body)
+		return true
+	})
+	return nil, nil
+}
+
+// checkMapRange walks one map-range body for order-sensitive effects.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name != "append" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			dest := rootObject(pass, call.Args[0])
+			if sortedAfter(pass, funcBody, rs, dest) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"append inside map iteration without a later sort: the slice order follows Go's randomized map order; sort the keys first (or sort the result, or annotate //lint:allowmaporder <reason>)")
+		case *ast.SelectorExpr:
+			selInfo, ok := pass.TypesInfo.Selections[fun]
+			if !ok || selInfo.Kind() != types.MethodVal {
+				return true
+			}
+			obj := selInfo.Obj()
+			if obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			switch {
+			case lintutil.PackageMatchesAny(path, randPkgs):
+				pass.Reportf(call.Pos(),
+					"randomness drawn inside map iteration: the stream's consumption order follows Go's randomized map order; sort the keys first")
+			case lintutil.PackageMatches(path, "internal/sim") && schedulerMethods[obj.Name()]:
+				pass.Reportf(call.Pos(),
+					"simulation event scheduled inside map iteration: the event sequence follows Go's randomized map order; sort the keys first")
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether funcBody contains, after the range statement,
+// a sort/slices call whose argument resolves to the same variable as dest —
+// the collect-then-sort idiom that makes the append acceptable.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, dest types.Object) bool {
+	if funcBody == nil || dest == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortCalls[sel.Sel.Name] {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkgName.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if len(call.Args) > 0 && rootObject(pass, call.Args[0]) == dest {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rootObject resolves an expression to the variable at its base: keys in
+// `keys`, res in `res.Path`, ids in `byID(ids)` (a sort.Interface
+// conversion). Returns nil when no single variable anchors the expression.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// Unwrap type conversions like byID(ids); anything else
+			// (a function call result) has no stable root.
+			if len(x.Args) == 1 && isTypeExpr(pass, x.Fun) {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func isTypeExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsType()
+}
+
+// enclosingBody returns the body of the innermost enclosing function
+// (declaration or literal) from an inspector stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/linttest"
+	"alertmanet/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "a")
+}

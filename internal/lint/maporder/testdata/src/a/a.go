@@ -1,0 +1,82 @@
+// Fixture: order-sensitive effects inside map iteration.
+package a
+
+import (
+	"sort"
+
+	"rng"
+	"sim"
+)
+
+// badAppend collects keys without ever sorting them: the slice order is
+// Go's randomized map order.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside map iteration without a later sort`
+	}
+	return keys
+}
+
+// goodSorted is the approved collect-then-sort idiom and is accepted.
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodCount has an order-insensitive body and is accepted.
+func goodCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// badDraw consumes the random stream once per key, in map order.
+func badDraw(m map[string]int, src *rng.Source) int {
+	total := 0
+	for range m {
+		total += src.Intn(5) // want `randomness drawn inside map iteration`
+	}
+	return total
+}
+
+// badSchedule enqueues an event per key: the heap's FIFO tie-break
+// sequence records the map order.
+func badSchedule(m map[string]int, eng *sim.Engine) {
+	for range m {
+		eng.Schedule(1, func() {}) // want `simulation event scheduled inside map iteration`
+	}
+}
+
+// okCancel calls an order-insensitive engine method and is accepted.
+func okCancel(m map[string]int, eng *sim.Engine) {
+	for id := range m {
+		eng.Cancel(id)
+	}
+}
+
+// annotated carries the escape hatch on the range statement and is
+// accepted.
+func annotated(m map[string]int) []string {
+	var keys []string
+	//lint:allowmaporder fixture: caller sorts the result
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceRange iterates a slice, not a map; appends are always accepted.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

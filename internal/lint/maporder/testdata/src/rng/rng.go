@@ -1,0 +1,12 @@
+// Fixture stand-in for internal/rng: the short import path "rng" matches
+// the analyzer's package patterns by final path element.
+package rng
+
+// Source is a seeded random stream.
+type Source struct{ state uint64 }
+
+// Intn draws from the stream.
+func (s *Source) Intn(n int) int {
+	s.state = s.state*6364136223846793005 + 1
+	return int(s.state % uint64(n))
+}

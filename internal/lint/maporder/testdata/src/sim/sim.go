@@ -1,0 +1,17 @@
+// Fixture stand-in for internal/sim: the short import path "sim" matches
+// the analyzer's package patterns by final path element.
+package sim
+
+// Engine is a discrete-event scheduler.
+type Engine struct{ events []func() }
+
+// Schedule enqueues fn after a delay; enqueue order matters.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	_ = delay
+	e.events = append(e.events, fn)
+}
+
+// Cancel is order-insensitive.
+func (e *Engine) Cancel(id string) {
+	_ = id
+}

@@ -1,0 +1,76 @@
+// Package norawrand defines an analyzer enforcing the simulator's first
+// determinism contract: all randomness flows through an injected
+// *rng.Source. A call to a math/rand (or math/rand/v2) top-level function —
+// including rand.New and rand.NewSource — anywhere outside internal/rng
+// creates a random stream the experiment seed does not control, silently
+// breaking seed reproducibility.
+package norawrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alertmanet/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Marker is the escape-hatch comment: //lint:allowrand <reason>.
+const Marker = "allowrand"
+
+// AllowedPackages may use math/rand directly: internal/rng is the single
+// place raw randomness is wrapped into seeded, splittable streams.
+var AllowedPackages = []string{"internal/rng"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "norawrand",
+	Doc: "forbid math/rand outside internal/rng\n\n" +
+		"Every stochastic component must draw from an injected *rng.Source so a run\n" +
+		"is a pure function of (Scenario, seed). References to math/rand top-level\n" +
+		"functions (rand.Intn, rand.New, rand.NewSource, ...) outside internal/rng\n" +
+		"and _test.go files are reported. Escape hatch: //lint:allowrand <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if lintutil.PackageMatchesAny(pass.Pkg.Path(), AllowedPackages) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	markers := lintutil.NewMarkers(pass)
+
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok || !randPkgs[pkgName.Imported().Path()] {
+			return
+		}
+		// Referencing a type (rand.Rand, rand.Source in a signature) does
+		// not draw randomness; only functions and variables do.
+		if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+			return
+		}
+		if lintutil.IsTestFile(pass, sel.Pos()) {
+			return
+		}
+		if _, ok := markers.Reason(sel.Pos(), Marker); ok {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"use of %s.%s outside internal/rng: draw randomness from an injected *rng.Source (or annotate //lint:allowrand <reason>)",
+			pkgName.Imported().Path(), sel.Sel.Name)
+	})
+	return nil, nil
+}

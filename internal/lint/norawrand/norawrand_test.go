@@ -1,0 +1,12 @@
+package norawrand_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/linttest"
+	"alertmanet/internal/lint/norawrand"
+)
+
+func TestNoRawRand(t *testing.T) {
+	linttest.Run(t, norawrand.Analyzer, "a", "rng")
+}

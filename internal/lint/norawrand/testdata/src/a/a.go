@@ -1,0 +1,31 @@
+// Fixture: math/rand use in an ordinary simulation package.
+package a
+
+import "math/rand"
+
+// bad draws from the global math/rand stream the experiment seed does not
+// control.
+func bad() int {
+	return rand.Intn(6) // want `use of math/rand.Intn outside internal/rng`
+}
+
+// alsoBad constructs a private stream; both the constructor and the source
+// are flagged.
+func alsoBad() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `use of math/rand.New outside` `use of math/rand.NewSource outside`
+}
+
+// typeOnly mentions rand.Rand purely as a type, which draws nothing and is
+// accepted.
+func typeOnly(r *rand.Rand) int {
+	if r == nil {
+		return 0
+	}
+	return 1
+}
+
+// annotated carries the escape hatch with a reason and is accepted.
+func annotated() int {
+	//lint:allowrand fixture: demonstrates the reviewed escape hatch
+	return rand.Intn(6)
+}

@@ -1,0 +1,9 @@
+// Fixture: _test.go files may use math/rand freely (fuzzing inputs,
+// shuffling cases); nothing here is flagged.
+package a
+
+import "math/rand"
+
+func testHelper() int {
+	return rand.Intn(3)
+}

@@ -1,0 +1,77 @@
+// Package nowallclock defines an analyzer enforcing the simulator's second
+// determinism contract: simulated components read time only from the
+// sim.Engine virtual clock. A time.Now or time.Sleep inside a simulation
+// package couples results to the host machine's wall clock and scheduler,
+// which is exactly what the discrete-event engine exists to prevent.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alertmanet/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Marker is the escape-hatch comment: //lint:allowwallclock <reason>.
+const Marker = "allowwallclock"
+
+// Banned are the time-package functions that observe or wait on the wall
+// clock. Pure data types (time.Duration arithmetic, time.Time formatting of
+// an already-obtained value) remain fine.
+var Banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid wall-clock reads in simulation packages\n\n" +
+		"Simulated time comes from sim.Engine.Now; time.Now/Since/Sleep/... in a\n" +
+		"simulation package makes runs depend on the host scheduler. Packages under\n" +
+		"a cmd/ element (CLI progress reporting) and _test.go files are exempt.\n" +
+		"Escape hatch: //lint:allowwallclock <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Command-line binaries may legitimately report wall-clock progress.
+	if lintutil.HasPathElement(pass.Pkg.Path(), "cmd") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	markers := lintutil.NewMarkers(pass)
+
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "time" || !Banned[sel.Sel.Name] {
+			return
+		}
+		if lintutil.IsTestFile(pass, sel.Pos()) {
+			return
+		}
+		if _, ok := markers.Reason(sel.Pos(), Marker); ok {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"time.%s reads the wall clock: simulation code must use the sim.Engine virtual clock (or annotate //lint:allowwallclock <reason>)",
+			sel.Sel.Name)
+	})
+	return nil, nil
+}

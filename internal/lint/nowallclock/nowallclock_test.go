@@ -1,0 +1,12 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/linttest"
+	"alertmanet/internal/lint/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, nowallclock.Analyzer, "a", "cmd/tool")
+}

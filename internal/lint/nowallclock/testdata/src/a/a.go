@@ -1,0 +1,36 @@
+// Fixture: wall-clock reads in an ordinary simulation package.
+package a
+
+import "time"
+
+// bad observes the host clock, coupling results to the machine.
+func bad() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+// sleepy waits on the host scheduler.
+func sleepy() {
+	time.Sleep(time.Second) // want `time.Sleep reads the wall clock`
+}
+
+// ticking subscribes to host-clock ticks.
+func ticking() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick reads the wall clock`
+}
+
+// okDuration does pure duration arithmetic on already-obtained values; the
+// time package's data types are accepted.
+func okDuration(d time.Duration) string {
+	return (2 * d).String()
+}
+
+// okFormat formats a timestamp handed in by a caller.
+func okFormat(t time.Time) string {
+	return t.Format(time.RFC3339)
+}
+
+// annotated carries the escape hatch with a reason and is accepted.
+func annotated() time.Time {
+	//lint:allowwallclock fixture: demonstrates the reviewed escape hatch
+	return time.Now()
+}

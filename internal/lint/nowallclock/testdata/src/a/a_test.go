@@ -1,0 +1,8 @@
+// Fixture: _test.go files may time themselves; nothing here is flagged.
+package a
+
+import "time"
+
+func testStamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+// Fixture: packages under a cmd/ path element are CLI binaries, which may
+// legitimately report wall-clock progress. Nothing here is flagged.
+package tool
+
+import "time"
+
+// Stamp reports when the tool ran.
+func Stamp() time.Time {
+	return time.Now()
+}

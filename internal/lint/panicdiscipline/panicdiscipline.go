@@ -1,0 +1,69 @@
+// Package panicdiscipline defines an analyzer enforcing the error-discipline
+// contract established in PR 1: library paths return errors; panic is
+// reserved for Must* convenience wrappers, init-time setup, and invariants a
+// reviewer has explicitly signed off on with //lint:allowpanic <reason>.
+package panicdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"alertmanet/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Marker is the escape-hatch comment: //lint:allowpanic <reason>. The reason
+// is mandatory — an unexplained allowance is just a panic with extra steps.
+const Marker = "allowpanic"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "panicdiscipline",
+	Doc: "restrict panic to Must* wrappers, init, and annotated invariants\n\n" +
+		"The public API returns errors (PR 1); a panic on a library path turns a\n" +
+		"recoverable condition into a crash. Allowed: functions whose name starts\n" +
+		"with Must/must, init functions, _test.go files, and call sites annotated\n" +
+		"//lint:allowpanic <reason> (the reason is required).",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	markers := lintutil.NewMarkers(pass)
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		ident, ok := call.Fun.(*ast.Ident)
+		if !ok || ident.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin {
+			return true // a local function shadowing the builtin
+		}
+		if lintutil.IsTestFile(pass, call.Pos()) {
+			return true
+		}
+		name := lintutil.EnclosingFuncName(stack)
+		if name == "init" || strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+			return true
+		}
+		if _, ok := markers.Reason(call.Pos(), Marker); ok {
+			return true
+		}
+		if markers.Present(call.Pos(), Marker) {
+			pass.Reportf(call.Pos(), "//lint:allowpanic needs a reason: say why this panic is unreachable or acceptable")
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"panic on a library path: return an error, rename the enclosing function Must*, or annotate //lint:allowpanic <reason>")
+		return true
+	})
+	return nil, nil
+}

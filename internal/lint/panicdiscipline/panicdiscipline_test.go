@@ -1,0 +1,12 @@
+package panicdiscipline_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/linttest"
+	"alertmanet/internal/lint/panicdiscipline"
+)
+
+func TestPanicDiscipline(t *testing.T) {
+	linttest.Run(t, panicdiscipline.Analyzer, "a")
+}

@@ -1,0 +1,58 @@
+// Fixture: panic discipline on library paths.
+package a
+
+import "errors"
+
+// bad panics where a caller could have handled an error.
+func bad(x int) int {
+	if x < 0 {
+		panic("negative") // want `panic on a library path`
+	}
+	return x
+}
+
+// MustPositive is a Must* convenience wrapper; its panic is the contract.
+func MustPositive(x int) int {
+	if x < 0 {
+		panic(errors.New("negative"))
+	}
+	return x
+}
+
+// mustInternal is the unexported spelling of the same convention.
+func mustInternal(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// init-time setup may panic: the process has not started doing work yet.
+func init() {
+	if false {
+		panic("impossible configuration")
+	}
+}
+
+// MustRun's closures inherit the allowance: the literal is still inside a
+// Must* function for policy purposes.
+func MustRun(f func() error) {
+	check := func() {
+		if err := f(); err != nil {
+			panic(err)
+		}
+	}
+	check()
+}
+
+// annotated carries the escape hatch with a reason and is accepted.
+func annotated() {
+	//lint:allowpanic fixture: invariant unreachable after Validate
+	panic("unreachable")
+}
+
+// reasonless carries a bare marker, which does not count as sign-off.
+func reasonless() {
+	//lint:allowpanic
+	panic("unreachable") // want `//lint:allowpanic needs a reason`
+}

@@ -1,0 +1,7 @@
+// Fixture: _test.go files may panic (t.Fatal alternatives, fixtures);
+// nothing here is flagged.
+package a
+
+func testBoom() {
+	panic("test-only")
+}

@@ -19,7 +19,7 @@ func newNet(n int, speed float64, seed int64) (*sim.Engine, *node.Network) {
 	eng := sim.NewEngine()
 	src := rng.New(seed)
 	mob := mobility.NewRandomWaypoint(field, n, mobility.Fixed(speed), src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	return eng, node.NewNetwork(eng, med, crypt.NewFastSuite(src),
 		crypt.ZeroCostModel(), node.Config{}, src)
 }

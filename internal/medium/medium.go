@@ -167,10 +167,11 @@ func (b *beaconCache) around(p geo.Point, fn func(NodeID, geo.Point)) {
 	}
 }
 
-// New creates a medium over the given mobility model.
-func New(eng *sim.Engine, mob mobility.Model, par Params, src *rng.Source) *Medium {
+// New creates a medium over the given mobility model. Non-positive radio
+// parameters (Range, Bitrate, HelloInterval) are an error.
+func New(eng *sim.Engine, mob mobility.Model, par Params, src *rng.Source) (*Medium, error) {
 	if par.Range <= 0 || par.Bitrate <= 0 || par.HelloInterval <= 0 {
-		panic(fmt.Sprintf("medium: invalid params %+v", par))
+		return nil, fmt.Errorf("medium: invalid params %+v", par)
 	}
 	return &Medium{
 		eng:      eng,
@@ -179,7 +180,17 @@ func New(eng *sim.Engine, mob mobility.Model, par Params, src *rng.Source) *Medi
 		src:      src.Split("medium"),
 		handlers: make([]Handler, mob.N()),
 		txByNode: make([]uint64, mob.N()),
+	}, nil
+}
+
+// MustNew is New for callers whose parameters are known good (tests); it
+// panics on error.
+func MustNew(eng *sim.Engine, mob mobility.Model, par Params, src *rng.Source) *Medium {
+	m, err := New(eng, mob, par, src)
+	if err != nil {
+		panic(err)
 	}
+	return m
 }
 
 // Params returns the channel configuration.

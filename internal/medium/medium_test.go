@@ -24,7 +24,7 @@ func newFixed(pos ...geo.Point) *fixedModel { return &fixedModel{pos: pos} }
 
 func setup(mob mobility.Model, par Params) (*sim.Engine, *Medium) {
 	eng := sim.NewEngine()
-	return eng, New(eng, mob, par, rng.New(1))
+	return eng, MustNew(eng, mob, par, rng.New(1))
 }
 
 func TestUnicastInRange(t *testing.T) {
@@ -170,7 +170,7 @@ func TestMobilityBreaksLinkMidFlight(t *testing.T) {
 	par.MACDelayMean = 0
 	eng := sim.NewEngine()
 	mob := mobility.NewRandomWaypoint(field, 2, mobility.Fixed(200), rng.New(42))
-	med := New(eng, mob, par, rng.New(1))
+	med := MustNew(eng, mob, par, rng.New(1))
 	// Count drops over several sends; at 200 m/s the receiver will often
 	// be elsewhere 4 seconds later.
 	med.Attach(1, func(NodeID, any, int) {})
@@ -209,7 +209,7 @@ func TestNeighborStaleness(t *testing.T) {
 	par.HelloInterval = 10
 	eng := sim.NewEngine()
 	mob := mobility.NewRandomWaypoint(field, 5, mobility.Fixed(5), rng.New(2))
-	med := New(eng, mob, par, rng.New(3))
+	med := MustNew(eng, mob, par, rng.New(3))
 	eng.Schedule(14, func() {
 		nb := med.Neighbors(0)
 		for _, n := range nb {
@@ -243,14 +243,11 @@ func TestNodesWithinAndClosest(t *testing.T) {
 	}
 }
 
-func TestInvalidParamsPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero range should panic")
-		}
-	}()
+func TestInvalidParamsError(t *testing.T) {
 	eng := sim.NewEngine()
-	New(eng, newFixed(geo.Point{}), Params{}, rng.New(1))
+	if _, err := New(eng, newFixed(geo.Point{}), Params{}, rng.New(1)); err == nil {
+		t.Fatal("zero range should be an error")
+	}
 }
 
 func TestUnattachedHandlerDropsSilently(t *testing.T) {
@@ -335,7 +332,7 @@ func TestNeighborsGridMatchesBruteForce(t *testing.T) {
 	// scan, including at cell boundaries.
 	eng := sim.NewEngine()
 	mob := mobility.NewRandomWaypoint(field, 150, mobility.Fixed(3), rng.New(77))
-	med := New(eng, mob, DefaultParams(), rng.New(78))
+	med := MustNew(eng, mob, DefaultParams(), rng.New(78))
 	check := func() {
 		tNow := med.helloTime()
 		for id := 0; id < 150; id++ {
@@ -373,7 +370,7 @@ func TestNeighborsGridMatchesBruteForce(t *testing.T) {
 func BenchmarkNeighborsGrid(b *testing.B) {
 	eng := sim.NewEngine()
 	mob := mobility.NewStatic(field, 200, rng.New(1))
-	med := New(eng, mob, DefaultParams(), rng.New(2))
+	med := MustNew(eng, mob, DefaultParams(), rng.New(2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for id := 0; id < 200; id++ {

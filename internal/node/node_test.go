@@ -18,7 +18,7 @@ func newTestNetwork(t *testing.T, n int, cfg Config) (*sim.Engine, *Network) {
 	eng := sim.NewEngine()
 	src := rng.New(99)
 	mob := mobility.NewRandomWaypoint(field, n, mobility.Fixed(2), src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	suite := crypt.NewFastSuite(src)
 	net := NewNetwork(eng, med, suite, crypt.DefaultCostModel(), cfg, src)
 	return eng, net

@@ -86,6 +86,7 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // panics: that is always a protocol-logic bug.
 func (e *Engine) Schedule(delay Time, fn func()) EventID {
 	if delay < 0 || math.IsNaN(delay) {
+		//lint:allowpanic scheduling into the past is always a protocol-logic bug; no caller can meaningfully recover mid-event
 		panic(fmt.Sprintf("sim: schedule with invalid delay %v at t=%v", delay, e.now))
 	}
 	return e.At(e.now+delay, fn)
@@ -94,6 +95,7 @@ func (e *Engine) Schedule(delay Time, fn func()) EventID {
 // At runs fn at the absolute time t (>= Now).
 func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
+		//lint:allowpanic scheduling into the past is always a protocol-logic bug; no caller can meaningfully recover mid-event
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
@@ -172,6 +174,7 @@ func (e *Engine) Ticker(start, interval Time, fn func(Time)) (stop func()) {
 // scenario's send horizon.
 func (e *Engine) TickerUntil(start, interval, until Time, fn func(Time)) (stop func()) {
 	if interval <= 0 {
+		//lint:allowpanic a non-positive interval would loop the engine at the current instant forever; always a caller bug
 		panic("sim: ticker interval must be positive")
 	}
 	stopped := false

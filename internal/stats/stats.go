@@ -206,10 +206,10 @@ func WelchT(a, b *Sample) WelchResult {
 	}
 	va, vb := a.Var()/na, b.Var()/nb
 	se := math.Sqrt(va + vb)
-	if se == 0 {
+	if se == 0 { //lint:allowfloatcompare exact zero detects the degenerate identical-constants case; any real variance gives se > 0
 		// Identical constants: no evidence of a difference unless the
 		// means actually differ (then the difference is exact).
-		if a.Mean() == b.Mean() {
+		if a.Mean() == b.Mean() { //lint:allowfloatcompare with zero variance every sample equals the mean, so equality here is exact, not approximate
 			return WelchResult{T: 0, DF: int(na + nb - 2), Critical: tCritical95(int(na + nb - 2))}
 		}
 		return WelchResult{T: math.Inf(1), DF: int(na + nb - 2),

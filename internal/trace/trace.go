@@ -20,16 +20,18 @@ type Canvas struct {
 	cells []byte
 }
 
-// NewCanvas creates a w x h character canvas spanning the field.
-func NewCanvas(field geo.Rect, w, h int) *Canvas {
+// NewCanvas creates a w x h character canvas spanning the field. A canvas
+// needs at least 2x2 cells and a non-empty field to span; anything smaller
+// is an error.
+func NewCanvas(field geo.Rect, w, h int) (*Canvas, error) {
 	if w < 2 || h < 2 || field.Empty() {
-		panic("trace: degenerate canvas")
+		return nil, fmt.Errorf("trace: degenerate canvas %dx%d over %v", w, h, field)
 	}
 	c := &Canvas{field: field, w: w, h: h, cells: make([]byte, w*h)}
 	for i := range c.cells {
 		c.cells[i] = ' '
 	}
-	return c
+	return c, nil
 }
 
 // cell maps a field position to raster coordinates (y axis flipped so north
@@ -96,10 +98,13 @@ func (c *Canvas) String() string {
 
 // RouteMap renders a packet's journey: every node as '.', the route's
 // relays numbered in hop order (1-9, then 'a'-'z'), S and D, and the
-// destination zone outline.
+// destination zone outline. It fails on a degenerate canvas (see NewCanvas).
 func RouteMap(field geo.Rect, positions []geo.Point, path []medium.NodeID,
-	src, dst medium.NodeID, zd geo.Rect, w, h int) string {
-	c := NewCanvas(field, w, h)
+	src, dst medium.NodeID, zd geo.Rect, w, h int) (string, error) {
+	c, err := NewCanvas(field, w, h)
+	if err != nil {
+		return "", err
+	}
 	c.Outline(zd, '#')
 	for _, p := range positions {
 		c.MarkIfEmpty(p, '.')
@@ -116,7 +121,7 @@ func RouteMap(field geo.Rect, positions []geo.Point, path []medium.NodeID,
 	}
 	c.Mark(positions[src], 'S')
 	c.Mark(positions[dst], 'D')
-	return c.String()
+	return c.String(), nil
 }
 
 func hopGlyph(hop int) byte {

@@ -13,8 +13,17 @@ import (
 
 var field = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}
 
+func mustCanvas(t *testing.T, field geo.Rect, w, h int) *Canvas {
+	t.Helper()
+	c, err := NewCanvas(field, w, h)
+	if err != nil {
+		t.Fatalf("NewCanvas(%dx%d): %v", w, h, err)
+	}
+	return c
+}
+
 func TestCanvasBasics(t *testing.T) {
-	c := NewCanvas(field, 20, 10)
+	c := mustCanvas(t, field, 20, 10)
 	c.Mark(geo.Point{X: 0, Y: 0}, 'A')       // bottom-left
 	c.Mark(geo.Point{X: 1000, Y: 1000}, 'B') // top-right
 	out := c.String()
@@ -32,7 +41,7 @@ func TestCanvasBasics(t *testing.T) {
 }
 
 func TestCanvasOutOfFieldIgnored(t *testing.T) {
-	c := NewCanvas(field, 10, 10)
+	c := mustCanvas(t, field, 10, 10)
 	c.Mark(geo.Point{X: -5, Y: 50}, 'X')
 	if strings.Contains(c.String(), "X") {
 		t.Fatal("out-of-field mark drawn")
@@ -40,7 +49,7 @@ func TestCanvasOutOfFieldIgnored(t *testing.T) {
 }
 
 func TestMarkIfEmpty(t *testing.T) {
-	c := NewCanvas(field, 10, 10)
+	c := mustCanvas(t, field, 10, 10)
 	p := geo.Point{X: 500, Y: 500}
 	c.Mark(p, 'A')
 	c.MarkIfEmpty(p, 'B')
@@ -50,20 +59,20 @@ func TestMarkIfEmpty(t *testing.T) {
 }
 
 func TestOutline(t *testing.T) {
-	c := NewCanvas(field, 40, 20)
+	c := mustCanvas(t, field, 40, 20)
 	c.Outline(geo.Rect{Min: geo.Point{X: 250, Y: 250}, Max: geo.Point{X: 750, Y: 750}}, '#')
 	if strings.Count(c.String(), "#") < 10 {
 		t.Fatal("outline barely drawn")
 	}
 }
 
-func TestDegenerateCanvasPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
-		}
-	}()
-	NewCanvas(field, 1, 1)
+func TestDegenerateCanvasError(t *testing.T) {
+	if _, err := NewCanvas(field, 1, 1); err == nil {
+		t.Fatal("want error for a 1x1 canvas")
+	}
+	if _, err := NewCanvas(geo.Rect{}, 10, 10); err == nil {
+		t.Fatal("want error for an empty field")
+	}
 }
 
 func TestRouteMap(t *testing.T) {
@@ -72,7 +81,10 @@ func TestRouteMap(t *testing.T) {
 		{X: 700, Y: 700}, {X: 900, Y: 900},
 	}
 	zd := geo.Rect{Min: geo.Point{X: 750, Y: 750}, Max: geo.Point{X: 1000, Y: 1000}}
-	out := RouteMap(field, positions, []medium.NodeID{0, 1, 2, 3, 4}, 0, 4, zd, 50, 25)
+	out, err := RouteMap(field, positions, []medium.NodeID{0, 1, 2, 3, 4}, 0, 4, zd, 50, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"S", "D", "1", "2", "3", "#"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("map missing %q:\n%s", want, out)
@@ -96,7 +108,7 @@ func TestTimeline(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(1)
 	mob := mobility.NewStatic(field, 5, src)
-	med := medium.New(eng, mob, medium.DefaultParams(), src)
+	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
 	for i := 0; i < 5; i++ {
 		med.Attach(medium.NodeID(i), func(medium.NodeID, any, int) {})
 	}

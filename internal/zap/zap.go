@@ -130,13 +130,14 @@ func (p *Protocol) zoneFor(pos geo.Point, side float64) geo.Rect {
 }
 
 // Send routes one packet: geo-forward to the zone's anchor, then flood the
-// zone.
-func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketRecord {
+// zone. The error is always nil; the signature matches the experiment
+// harness's Proto interface.
+func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, error) {
 	rec := p.col.Start(src, dst, p.net.Eng.Now())
 	entry, ok := p.loc.Lookup(dst)
 	if !ok {
 		p.col.Complete(rec, 0, false)
-		return rec
+		return rec, nil
 	}
 	key := [2]medium.NodeID{src, dst}
 	n := p.sessions[key]
@@ -174,7 +175,7 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) *metrics.PacketReco
 	// One symmetric seal at the source; ZAP carries no per-hop crypto.
 	p.net.NoteSym(1)
 	p.net.Eng.Schedule(p.net.Costs.SymEncrypt, func() { p.router.Send(src, pkt) })
-	return rec
+	return rec, nil
 }
 
 // broadcastZone floods the anonymity zone starting at the anchor node.
