@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench figures analysis experiments fuzz clean
+.PHONY: all build test vet lint bench bench-smoke figures analysis experiments fuzz clean
 
 all: build vet lint test
 
@@ -24,6 +24,12 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Single-iteration smoke over the root figure benchmarks, leaving a
+# machine-readable artifact (cmd/benchjson parses the text output).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr3.json
+	@echo "wrote BENCH_pr3.json"
+
 # Regenerate every evaluation figure at paper fidelity (30 seeds).
 figures:
 	$(GO) run ./cmd/figures -seeds 30 all
@@ -42,4 +48,4 @@ fuzz:
 	$(GO) test ./internal/mobility -fuzz FuzzParseNS2 -fuzztime 30s
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_pr3.json

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document, so benchmark smoke runs leave a
+// machine-readable artifact (e.g. BENCH_pr3.json via `make bench-smoke`)
+// instead of a log to eyeball:
+//
+//	go test -bench . -benchtime=1x -run NONE . | go run ./cmd/benchjson
+//
+// Only standard benchmark result lines are parsed
+// ("BenchmarkName-8  10  123 ns/op [456 B/op  7 allocs/op]"); the
+// goos/goarch/pkg header lines fill in context, everything else is
+// ignored. Exits non-zero if the stream contains no benchmark results —
+// a smoke run that benchmarked nothing is a broken smoke run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Package     string  `json:"package,omitempty"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type document struct {
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*document, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	doc := &document{Benchmarks: []benchResult{}}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if !ok {
+				continue // e.g. a bare "BenchmarkFoo" progress line
+			}
+			r.Package = pkg
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results on stdin")
+	}
+	return doc, nil
+}
+
+// parseResult parses one result line:
+//
+//	BenchmarkFig7a-8   3   456789 ns/op   1024 B/op   12 allocs/op
+//
+// The B/op and allocs/op columns only appear under -benchmem.
+func parseResult(line string) (benchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return benchResult{}, false
+	}
+	var r benchResult
+	r.Name = f[0]
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = procs
+			r.Name = r.Name[:i]
+		}
+	}
+	r.Name = strings.TrimPrefix(r.Name, "Benchmark")
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r.Iterations = iters
+	// Remaining fields come in "value unit" pairs.
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, seen
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: alertmanet
+BenchmarkFig7aPossibleParticipants-8   	       1	    123456 ns/op	    2048 B/op	      17 allocs/op
+BenchmarkFig16aDeliveryRate
+BenchmarkFig16aDeliveryRate-8          	       3	  98765432 ns/op
+PASS
+ok  	alertmanet	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Fatalf("platform = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "Fig7aPossibleParticipants" || b.Package != "alertmanet" ||
+		b.Procs != 8 || b.Iterations != 1 || b.NsPerOp != 123456 ||
+		b.BytesPerOp != 2048 || b.AllocsPerOp != 17 {
+		t.Fatalf("first result = %+v", b)
+	}
+	b = doc.Benchmarks[1]
+	if b.Name != "Fig16aDeliveryRate" || b.NsPerOp != 98765432 || b.BytesPerOp != 0 {
+		t.Fatalf("second result = %+v", b)
+	}
+}
+
+func TestParseEmptyErrors(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok x 0.1s\n"))); err == nil {
+		t.Fatal("want error for a stream with no results")
+	}
+}
+
+func TestParseResultRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",                // progress line, no columns
+		"BenchmarkFoo-8 abc 12 ns/op", // bad iteration count
+		"BenchmarkFoo-8 3 xyz ns/op",  // bad value
+		"BenchmarkFoo-8 3 12 B/op",    // no ns/op column
+	} {
+		if _, ok := parseResult(line); ok {
+			t.Errorf("parsed malformed line %q", line)
+		}
+	}
+}

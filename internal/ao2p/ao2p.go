@@ -91,8 +91,14 @@ func New(net *node.Network, loc *locservice.Service, cfg Config, src *rng.Source
 			if !ok {
 				return
 			}
+			// Record the confirmed arrival before any branch below: the
+			// short-circuits bypass Handle, and Path/Hops grow only on
+			// reception.
+			p.router.Receive(id, pkt)
 			if id == m.dst {
-				p.deliver(id, m, pkt)
+				// D claimed the packet: close the routing attempt
+				// through the router so its terminal counters balance.
+				p.router.Finish(id, pkt, gpsr.Delivered)
 				return
 			}
 			// Destination contention: if D can hear this relay, D
@@ -100,10 +106,13 @@ func New(net *node.Network, loc *locservice.Service, cfg Config, src *rng.Source
 			if p.net.Med.PositionNow(id).Dist(p.net.Med.PositionNow(m.dst)) <= rangeM &&
 				pkt.HopBudget > 0 {
 				pkt.HopBudget--
-				pkt.Hops++
-				pkt.Path = append(pkt.Path, m.dst)
 				p.charge(func() {
-					p.net.Med.Unicast(id, m.dst, pkt, p.cfg.PacketSize)
+					p.net.Med.UnicastOutcome(id, m.dst, pkt, p.cfg.PacketSize,
+						func(out medium.SendOutcome) {
+							if out != medium.SendDelivered {
+								p.router.Finish(id, pkt, gpsr.DroppedLink)
+							}
+						})
 				})
 				return
 			}
@@ -157,10 +166,12 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRec
 		Size:      p.cfg.PacketSize,
 		HopBudget: p.cfg.HopBudget,
 		OnOutcome: func(at medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
-			// Reaching the node closest to the virtual destination
-			// without D claiming the packet means delivery failed
-			// (unless that node IS D).
-			if out == gpsr.ArrivedClosest && at == m.dst {
+			// Delivered means D claimed the packet (the demux closes
+			// that through the router). Reaching the node closest to
+			// the virtual destination without D claiming it means
+			// delivery failed — unless that node IS D.
+			if out == gpsr.Delivered ||
+				(out == gpsr.ArrivedClosest && at == m.dst) {
 				p.deliver(at, m, gp)
 				return
 			}

@@ -215,7 +215,13 @@ func (p *Protocol) route(at medium.NodeID, env *Envelope) {
 	p.router.Send(at, pkt)
 }
 
-// failLeg handles a dropped GPSR leg: without any recovery mechanism the
+// failLeg handles a dropped GPSR leg — including DroppedLink, a hop lost
+// on air after the medium's link-layer ARQ spent its retries. The two
+// recovery mechanisms are deliberately layered as in real stacks: the
+// medium retransmits individual frames on an 802.11-like timescale
+// (milliseconds), while ALERT's Confirm/NAK machinery below is end-to-end
+// recovery on the protocol timescale (seconds), re-routing the whole
+// packet over fresh random forwarders. Without any recovery mechanism the
 // packet is simply lost and recorded; with confirmations the retry timer
 // will resend, and with NAKs the destination may report the gap — either
 // way the flight stays open until recovery or the completion timeout.

@@ -100,6 +100,10 @@ type Scenario struct {
 	PacketSize    int
 	LossRate      float64
 	HelloInterval float64
+	// NoARQ disables the medium's link-layer ACK/retransmission (sets
+	// medium.Params.Retries to 0), reproducing the fire-and-forget
+	// channel of the pre-ARQ harness for before/after comparisons.
+	NoARQ bool
 
 	LocUpdates  bool
 	LocInterval float64
@@ -271,6 +275,9 @@ func Build(sc Scenario) (*World, error) {
 	if sc.HelloInterval > 0 {
 		par.HelloInterval = sc.HelloInterval
 	}
+	if sc.NoARQ {
+		par.Retries = 0
+	}
 	med, err := medium.New(eng, mob, par, src)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
@@ -324,6 +331,19 @@ func MustBuild(sc Scenario) *World {
 		panic(err)
 	}
 	return w
+}
+
+// Router returns the GPSR router the scenario's protocol routes over (all
+// five protocols ride the same substrate). Invariant checks use it: after a
+// drained run, Sent == Delivered + ArrivedClosest + DroppedTTL +
+// DroppedDeadEnd + DroppedLink must hold — every routing attempt ends in
+// exactly one terminal outcome.
+func (w *World) Router() *gpsr.Router {
+	r, ok := w.Proto.(interface{ Router() *gpsr.Router })
+	if !ok {
+		return nil
+	}
+	return r.Router()
 }
 
 // Pair is one S-D communication pair.

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// checkDrainInvariants runs one scenario to its drain horizon and enforces
+// the accounting contracts this harness guarantees:
+//
+//  1. Every application packet reaches a terminal outcome — after Drain,
+//     Collector.Unfinished() == 0 and Completed() == Sent(). Before the
+//     link-layer ARQ reported send outcomes, a frame lost on air left its
+//     packet open forever (Completed() < Sent() silently).
+//  2. GPSR counter conservation: every routing attempt ends in exactly one
+//     of the five terminal outcomes.
+func checkDrainInvariants(t *testing.T, label string, sc Scenario) {
+	t.Helper()
+	w, err := Build(sc)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	pairs := w.ChoosePairs()
+	w.StartWorkload(pairs)
+	w.Drain()
+
+	col := w.Proto.Collector()
+	if col.Sent() == 0 {
+		t.Fatalf("%s: sent nothing", label)
+	}
+	if n := col.Unfinished(); n != 0 {
+		t.Errorf("%s: %d of %d packets never completed", label, n, col.Sent())
+	}
+	if col.Completed() != col.Sent() {
+		t.Errorf("%s: Completed() = %d, Sent() = %d", label, col.Completed(), col.Sent())
+	}
+
+	r := w.Router()
+	if r == nil {
+		t.Fatalf("%s: no router", label)
+	}
+	c := r.Counters()
+	terminal := c.Delivered + c.ArrivedClosest + c.DroppedTTL + c.DroppedDeadEnd + c.DroppedLink
+	if c.Sent != terminal {
+		t.Errorf("%s: gpsr conservation broken: Sent=%d but terminals sum to %d (%+v)",
+			label, c.Sent, terminal, c)
+	}
+}
+
+// TestDrainInvariantsAllProtocols exercises the drain-time accounting
+// invariants for all five protocols under increasing loss. At LossRate 0.3
+// the pre-ARQ channel dropped most multi-hop traffic without a trace; now
+// every loss is a counted DroppedLink (or recovered by a retransmission).
+func TestDrainInvariantsAllProtocols(t *testing.T) {
+	for _, p := range []ProtocolName{ALERT, GPSR, ALARM, AO2P, ZAP} {
+		for _, loss := range []float64{0, 0.1, 0.3} {
+			sc := DefaultScenario()
+			sc.Protocol = p
+			sc.Duration = 20
+			sc.LossRate = loss
+			checkDrainInvariants(t, fmt.Sprintf("%s/loss=%v", p, loss), sc)
+		}
+	}
+}
+
+// TestDrainInvariantsHighSpeed stresses the same invariants under fast
+// mobility: links break mid-flight (range drops rather than loss-coin
+// drops), the failure mode the ARQ's per-attempt range check re-tests.
+func TestDrainInvariantsHighSpeed(t *testing.T) {
+	for _, p := range []ProtocolName{ALERT, GPSR, ALARM, AO2P, ZAP} {
+		sc := DefaultScenario()
+		sc.Protocol = p
+		sc.Duration = 20
+		sc.Speed = 20 // well beyond the paper's 8 m/s sweep
+		sc.LossRate = 0.1
+		checkDrainInvariants(t, fmt.Sprintf("%s/speed=20", p), sc)
+	}
+}
+
+// TestDrainInvariantsNoARQ verifies the invariants do not depend on the
+// ARQ: with Retries = 0 (the pre-ARQ fire-and-forget channel) a lost frame
+// still resolves its send as DroppedLink on the first attempt.
+func TestDrainInvariantsNoARQ(t *testing.T) {
+	for _, p := range []ProtocolName{ALERT, GPSR, ALARM, AO2P, ZAP} {
+		sc := DefaultScenario()
+		sc.Protocol = p
+		sc.Duration = 20
+		sc.LossRate = 0.3
+		sc.NoARQ = true
+		checkDrainInvariants(t, fmt.Sprintf("%s/noarq", p), sc)
+	}
+}
+
+// TestARQImprovesLossyDelivery pins the before/after relationship the
+// EXPERIMENTS.md note records: on a lossless channel the ARQ is inert
+// (identical delivery with and without), and on a lossy channel the retry
+// budget recovers deliveries fire-and-forget loses.
+func TestARQImprovesLossyDelivery(t *testing.T) {
+	run := func(noARQ bool, loss float64) Result {
+		sc := DefaultScenario()
+		sc.Protocol = GPSR
+		sc.Duration = 20
+		sc.LossRate = loss
+		sc.NoARQ = noARQ
+		return MustRun(sc)
+	}
+	cleanARQ, cleanNo := run(false, 0), run(true, 0)
+	if cleanARQ.DeliveryRate < 0.95 || cleanNo.DeliveryRate < 0.95 {
+		t.Fatalf("lossless delivery: arq=%v noarq=%v", cleanARQ.DeliveryRate, cleanNo.DeliveryRate)
+	}
+	lossyARQ, lossyNo := run(false, 0.3), run(true, 0.3)
+	if lossyARQ.DeliveryRate <= lossyNo.DeliveryRate {
+		t.Fatalf("ARQ should out-deliver fire-and-forget at 30%% loss: arq=%v noarq=%v",
+			lossyARQ.DeliveryRate, lossyNo.DeliveryRate)
+	}
+	// The recovery must come from retransmissions the counters admit to.
+	sc := DefaultScenario()
+	sc.Protocol = GPSR
+	sc.Duration = 20
+	sc.LossRate = 0.3
+	w := MustBuild(sc)
+	pairs := w.ChoosePairs()
+	w.StartWorkload(pairs)
+	w.Drain()
+	mc := w.Med.Counters()
+	if mc.Retransmissions == 0 || mc.AcksSent == 0 {
+		t.Fatalf("lossy ARQ run shows no retry activity: %+v", mc)
+	}
+}
+
+// TestDroppedLinkIsTerminalOutcome drives a GPSR run over a hopeless
+// channel (LossRate 1, no retries would ever help) and checks the drop is
+// visible as DroppedLink rather than a silent vanish.
+func TestDroppedLinkIsTerminalOutcome(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Protocol = GPSR
+	sc.Duration = 10
+	sc.LossRate = 1
+	w := MustBuild(sc)
+	pairs := w.ChoosePairs()
+	w.StartWorkload(pairs)
+	w.Drain()
+	c := w.Router().Counters()
+	if c.DroppedLink == 0 {
+		t.Fatalf("no DroppedLink outcomes on a LossRate=1 channel: %+v", c)
+	}
+	if got := w.Proto.Collector().Unfinished(); got != 0 {
+		t.Fatalf("%d packets never completed", got)
+	}
+}

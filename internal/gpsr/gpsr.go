@@ -45,6 +45,11 @@ const (
 	// DroppedDeadEnd means perimeter recovery failed (disconnected or
 	// the walk returned to its first edge).
 	DroppedDeadEnd
+	// DroppedLink means a hop's transmission failed on air even after the
+	// medium's ARQ spent its retry budget (receiver out of range, loss,
+	// or a compromised holder sinking the frame). The packet's last
+	// confirmed holder reports the outcome.
+	DroppedLink
 )
 
 func (o Outcome) String() string {
@@ -55,9 +60,12 @@ func (o Outcome) String() string {
 		return "arrived-closest"
 	case DroppedTTL:
 		return "dropped-ttl"
-	default:
+	case DroppedDeadEnd:
 		return "dropped-dead-end"
+	case DroppedLink:
+		return "dropped-link"
 	}
+	return "unknown"
 }
 
 // NoDeliverTo marks a packet that terminates at the node closest to the
@@ -93,13 +101,17 @@ type Packet struct {
 	firstTo   medium.NodeID
 }
 
-// Counters aggregates router activity.
+// Counters aggregates router activity. Every Sent routing attempt ends in
+// exactly one of the five terminal counters:
+// Sent == Delivered + ArrivedClosest + DroppedTTL + DroppedDeadEnd + DroppedLink
+// (the conservation invariant the experiment harness regresses).
 type Counters struct {
 	Sent             uint64
 	Delivered        uint64
 	ArrivedClosest   uint64
 	DroppedTTL       uint64
 	DroppedDeadEnd   uint64
+	DroppedLink      uint64
 	TotalHops        uint64
 	PerimeterEntries uint64
 }
@@ -153,10 +165,35 @@ func (r *Router) Send(from medium.NodeID, pkt *Packet) {
 	r.Handle(from, pkt)
 }
 
+// Receive records pkt's confirmed arrival at node cur: the hop count and
+// the participating-node Path grow only here, on reception, never
+// optimistically at send time — a transmission the ARQ ultimately loses
+// must not count the node that never held the packet (Fig. 10 participants,
+// route-Jaccard). Idempotent at the current holder, so the origin (already
+// on the Path from Send) and protocol layers that call it before Handle are
+// safe.
+func (r *Router) Receive(cur medium.NodeID, pkt *Packet) {
+	if n := len(pkt.Path); n > 0 && pkt.Path[n-1] == cur {
+		return
+	}
+	pkt.Path = append(pkt.Path, cur)
+	pkt.Hops++
+	r.counts.TotalHops++
+}
+
+// Finish terminates pkt's routing at node cur with the given outcome,
+// updating the terminal counters and firing OnOutcome. Protocols whose
+// demux short-circuits the router (e.g. AO2P's destination contention)
+// use it so every Sent packet still reaches exactly one terminal outcome.
+func (r *Router) Finish(cur medium.NodeID, pkt *Packet, out Outcome) {
+	r.finish(cur, pkt, out)
+}
+
 // Handle processes pkt at node cur: deliver, forward greedily, or walk the
 // perimeter. Protocol demux layers call this when a medium delivery carries
 // a *Packet.
 func (r *Router) Handle(cur medium.NodeID, pkt *Packet) {
+	r.Receive(cur, pkt)
 	if pkt.DeliverTo != NoDeliverTo && cur == pkt.DeliverTo {
 		r.finish(cur, pkt, Delivered)
 		return
@@ -173,11 +210,14 @@ func (r *Router) Handle(cur medium.NodeID, pkt *Packet) {
 	if pkt.mode == Greedy {
 		// Prefer links comfortably inside the radio range: beacon
 		// positions are up to a hello interval stale, so a neighbor at
-		// the very fringe may have drifted out by delivery time and the
-		// frame is silently lost. Real GPSR gets this for free from the
-		// 802.11 MAC's ARQ feedback; we approximate it by preferring
-		// neighbors within SafeRangeFactor of the range and falling
-		// back to fringe links only when nothing safer improves.
+		// the very fringe may have drifted out by delivery time. The
+		// medium's ARQ now detects and retries such losses (and forward
+		// reports the survivors' failure as DroppedLink), so this is no
+		// longer correctness machinery — it is an optimization that
+		// steers packets onto links unlikely to need retransmission,
+		// much as real GPSR implementations prefer neighbors whose MAC
+		// feedback looks healthy. Fringe links remain a fallback when
+		// nothing safer improves.
 		safe := r.net.Med.Params().Range * SafeRangeFactor
 		best := NoDeliverTo
 		bestDist := selfDist
@@ -241,19 +281,24 @@ func (r *Router) Handle(cur medium.NodeID, pkt *Packet) {
 	r.forward(cur, next.ID, pkt)
 }
 
-// forward transmits pkt one hop. The receiving side must route the payload
-// back into Handle (protocols do this in their medium handlers).
+// forward transmits pkt one hop. The receiving side routes the payload back
+// into Handle (protocols do this in their medium handlers), which records
+// the arrival via Receive; if the medium's ARQ exhausts its retries the
+// send resolves lost and the packet terminates here as DroppedLink. The
+// hop budget is spent at send time (the transmission attempt is the cost),
+// but Path and Hops grow only on confirmed reception.
 func (r *Router) forward(cur, next medium.NodeID, pkt *Packet) {
 	if pkt.HopBudget <= 0 {
 		r.finish(cur, pkt, DroppedTTL)
 		return
 	}
 	pkt.HopBudget--
-	pkt.Hops++
-	r.counts.TotalHops++
 	pkt.prev = cur
-	pkt.Path = append(pkt.Path, next)
-	r.net.Med.Unicast(cur, next, pkt, pkt.Size)
+	r.net.Med.UnicastOutcome(cur, next, pkt, pkt.Size, func(out medium.SendOutcome) {
+		if out != medium.SendDelivered {
+			r.finish(cur, pkt, DroppedLink)
+		}
+	})
 }
 
 func (r *Router) finish(at medium.NodeID, pkt *Packet, out Outcome) {
@@ -266,6 +311,8 @@ func (r *Router) finish(at medium.NodeID, pkt *Packet, out Outcome) {
 		r.counts.DroppedTTL++
 	case DroppedDeadEnd:
 		r.counts.DroppedDeadEnd++
+	case DroppedLink:
+		r.counts.DroppedLink++
 	}
 	if pkt.OnOutcome != nil {
 		pkt.OnOutcome(at, pkt, out)

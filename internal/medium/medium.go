@@ -47,6 +47,20 @@ type Params struct {
 	// tables reflect positions as of the last beacon tick, so faster
 	// nodes have staler tables.
 	HelloInterval float64
+	// Retries is the link-layer retransmission budget for unicasts, the
+	// ARQ that 802.11's MAC gave the paper's NS-2 runs for free. After a
+	// data frame is transmitted the receiver answers with an ACK frame;
+	// if either is lost the sender retransmits, up to Retries times, each
+	// wait doubling from RetryBackoff. Retries = 0 disables the ACK
+	// machinery entirely and reproduces a fire-and-forget channel.
+	Retries int
+	// AckSize is the on-air size of an ACK frame in bytes (802.11 ACKs
+	// are 14 bytes). ACK bytes and delays are charged to the same
+	// counters and clock as data so energy and latency stay honest.
+	AckSize int
+	// RetryBackoff is the base retransmission wait in seconds; attempt k
+	// retransmits after RetryBackoff * 2^(k-1).
+	RetryBackoff float64
 }
 
 // DefaultParams returns the paper's channel configuration.
@@ -57,7 +71,39 @@ func DefaultParams() Params {
 		MACDelayMean:  0.5e-3,
 		LossRate:      0,
 		HelloInterval: 1.0,
+		Retries:       3,
+		AckSize:       14,
+		RetryBackoff:  1e-3,
 	}
+}
+
+// SendOutcome is the terminal fate of one unicast send, as reported to the
+// sender's outcome callback once the ARQ gives up or succeeds.
+type SendOutcome uint8
+
+const (
+	// SendDelivered: the data frame reached the receiver's handler (even
+	// if every ACK was subsequently lost — the frame's fate is what
+	// counts, and the handler fires at most once per send).
+	SendDelivered SendOutcome = iota
+	// SendLost: the retry budget is exhausted and the receiver never got
+	// the frame.
+	SendLost
+	// SendCompromised: the sender is a compromised node sinking its own
+	// transmissions (Section 2.1's DoS attacker), so nothing went on air.
+	SendCompromised
+)
+
+func (o SendOutcome) String() string {
+	switch o {
+	case SendDelivered:
+		return "delivered"
+	case SendLost:
+		return "lost"
+	case SendCompromised:
+		return "compromised"
+	}
+	return "unknown"
 }
 
 // Handler receives a delivered transmission.
@@ -72,6 +118,19 @@ type Counters struct {
 	DroppedLoss    uint64 // random loss
 	// DroppedCompromised counts frames sunk by compromised relays.
 	DroppedCompromised uint64
+	// Retransmissions counts data-frame transmissions beyond each send's
+	// first attempt (every retransmission also lands in the per-attempt
+	// counters above, so DroppedLoss et al. count physical frames).
+	Retransmissions uint64
+	// AcksSent counts ACK frames transmitted; AcksLost counts ACK frames
+	// that failed on air (range or loss — kept out of DroppedRange and
+	// DroppedLoss so those remain data-frame counters).
+	AcksSent uint64
+	AcksLost uint64
+	// Duplicates counts data frames received again after a first
+	// successful reception (the retransmission raced a lost ACK); the
+	// handler does not re-fire for them.
+	Duplicates uint64
 	// TxBytes and RxBytes accumulate payload bytes transmitted and
 	// received (energy accounting).
 	TxBytes uint64
@@ -172,6 +231,13 @@ func (b *beaconCache) around(p geo.Point, fn func(NodeID, geo.Point)) {
 func New(eng *sim.Engine, mob mobility.Model, par Params, src *rng.Source) (*Medium, error) {
 	if par.Range <= 0 || par.Bitrate <= 0 || par.HelloInterval <= 0 {
 		return nil, fmt.Errorf("medium: invalid params %+v", par)
+	}
+	if par.Retries < 0 {
+		return nil, fmt.Errorf("medium: negative retry budget %d", par.Retries)
+	}
+	if par.Retries > 0 && (par.AckSize <= 0 || par.RetryBackoff <= 0) {
+		return nil, fmt.Errorf("medium: ARQ enabled (Retries=%d) but AckSize=%d, RetryBackoff=%g",
+			par.Retries, par.AckSize, par.RetryBackoff)
 	}
 	return &Medium{
 		eng:      eng,
@@ -294,39 +360,163 @@ func (m *Medium) notifyRecv(from, to NodeID, payload any, size int) {
 	}
 }
 
-// Unicast transmits payload from one node to another. Delivery succeeds if
-// the receiver is within Range when the transmission completes and the loss
-// coin does not fire. Returns the scheduled delivery time.
+// Unicast transmits payload from one node to another with link-layer ARQ
+// (see UnicastOutcome) but without reporting the send's fate. Returns the
+// scheduled first-attempt delivery time.
 func (m *Medium) Unicast(from, to NodeID, payload any, size int) float64 {
+	return m.UnicastOutcome(from, to, payload, size, nil)
+}
+
+// UnicastOutcome transmits payload from one node to another and reports the
+// send's terminal fate to done (which may be nil). Delivery succeeds if the
+// receiver is within Range when a data-frame transmission completes and the
+// loss coin does not fire; with Params.Retries > 0 the receiver ACKs each
+// data frame and the sender retransmits on silence, so a send only counts as
+// lost after the whole retry budget fails. done fires exactly once, when the
+// ARQ resolves: at ACK reception or retry exhaustion (Retries > 0), or at
+// first-attempt resolution (Retries = 0). The handler fires at most once per
+// send — duplicate data receptions are absorbed by the ARQ. Returns the
+// scheduled first-attempt delivery time.
+func (m *Medium) UnicastOutcome(from, to NodeID, payload any, size int, done func(SendOutcome)) float64 {
 	m.counters.UnicastsSent++
-	if m.compromised[from] {
+	s := &arqSend{m: m, from: from, to: to, payload: payload, size: size, done: done}
+	return s.attempt()
+}
+
+// arqSend is one logical unicast send working through its retry budget.
+type arqSend struct {
+	m        *Medium
+	from, to NodeID
+	payload  any
+	size     int
+	done     func(SendOutcome)
+	// attempts counts data-frame transmissions performed (first = 1).
+	attempts int
+	// delivered is set once the data frame reaches the handler; later
+	// receptions of the same send are duplicates and the worst remaining
+	// outcome is SendDelivered.
+	delivered bool
+	// resolved guards the single done callback.
+	resolved bool
+}
+
+func (s *arqSend) resolve(out SendOutcome) {
+	if s.resolved {
+		return
+	}
+	s.resolved = true
+	if s.done != nil {
+		s.done(out)
+	}
+}
+
+// attempt transmits the data frame once and schedules its delivery; returns
+// the scheduled delivery time.
+func (s *arqSend) attempt() float64 {
+	m := s.m
+	s.attempts++
+	if m.compromised[s.from] {
 		m.counters.DroppedCompromised++
+		if s.delivered {
+			s.resolve(SendDelivered)
+		} else {
+			s.resolve(SendCompromised)
+		}
 		return m.eng.Now()
 	}
-	m.counters.TxBytes += uint64(size)
-	m.txByNode[from]++
-	m.notifySend(from, to, payload, size)
-	at := m.eng.Now() + m.txDelay(size)
-	m.eng.At(at, func() {
-		now := m.eng.Now()
-		pf := m.mob.Position(int(from), now)
-		pt := m.mob.Position(int(to), now)
-		if pf.Dist(pt) > m.par.Range {
-			m.counters.DroppedRange++
-			return
-		}
-		if m.src.Bernoulli(m.par.LossRate) {
-			m.counters.DroppedLoss++
-			return
-		}
-		m.counters.Delivered++
-		m.counters.RxBytes += uint64(size)
-		m.notifyRecv(from, to, payload, size)
-		if h := m.handlers[to]; h != nil {
-			h(from, payload, size)
-		}
-	})
+	if s.attempts > 1 {
+		m.counters.Retransmissions++
+	}
+	m.counters.TxBytes += uint64(s.size)
+	m.txByNode[s.from]++
+	m.notifySend(s.from, s.to, s.payload, s.size)
+	at := m.eng.Now() + m.txDelay(s.size)
+	m.eng.At(at, s.arrive)
 	return at
+}
+
+// arrive is the data frame reaching (or missing) the receiver.
+func (s *arqSend) arrive() {
+	m := s.m
+	now := m.eng.Now()
+	pf := m.mob.Position(int(s.from), now)
+	pt := m.mob.Position(int(s.to), now)
+	if pf.Dist(pt) > m.par.Range {
+		m.counters.DroppedRange++
+		s.retryOrFail()
+		return
+	}
+	if m.src.Bernoulli(m.par.LossRate) {
+		m.counters.DroppedLoss++
+		s.retryOrFail()
+		return
+	}
+	if s.delivered {
+		// A retransmission raced a lost ACK: absorb the duplicate
+		// (the handler must not re-fire) but re-ACK so the sender can
+		// stop. Duplicates stay off the receive taps — an adversary
+		// correlating receptions should not double-count one frame.
+		m.counters.Duplicates++
+		m.counters.RxBytes += uint64(s.size)
+		s.sendAck()
+		return
+	}
+	s.delivered = true
+	m.counters.Delivered++
+	m.counters.RxBytes += uint64(s.size)
+	m.notifyRecv(s.from, s.to, s.payload, s.size)
+	if h := m.handlers[s.to]; h != nil {
+		h(s.from, s.payload, s.size)
+	}
+	if m.par.Retries == 0 {
+		s.resolve(SendDelivered)
+		return
+	}
+	s.sendAck()
+}
+
+// sendAck transmits the receiver's ACK frame back to the sender. ACK frames
+// are MAC-level control traffic: they are charged to the byte counters and
+// the clock, but stay off the adversary taps (the taps model packet
+// eavesdropping) and are not sunk by compromised receivers — the DoS
+// attacker of Section 2.1 sinks the packets it should forward, not the
+// MAC's own control responses, which would unmask it to its neighbors.
+func (s *arqSend) sendAck() {
+	m := s.m
+	m.counters.AcksSent++
+	m.counters.TxBytes += uint64(m.par.AckSize)
+	m.txByNode[s.to]++
+	m.eng.At(m.eng.Now()+m.txDelay(m.par.AckSize), func() {
+		now := m.eng.Now()
+		pt := m.mob.Position(int(s.to), now)
+		pf := m.mob.Position(int(s.from), now)
+		if pt.Dist(pf) > m.par.Range || m.src.Bernoulli(m.par.LossRate) {
+			m.counters.AcksLost++
+			s.retryOrFail()
+			return
+		}
+		m.counters.RxBytes += uint64(m.par.AckSize)
+		s.resolve(SendDelivered)
+	})
+}
+
+// retryOrFail schedules the next retransmission with exponential backoff,
+// or resolves the send once the budget is spent.
+func (s *arqSend) retryOrFail() {
+	m := s.m
+	if s.resolved {
+		return
+	}
+	if s.attempts > m.par.Retries {
+		if s.delivered {
+			s.resolve(SendDelivered)
+		} else {
+			s.resolve(SendLost)
+		}
+		return
+	}
+	backoff := m.par.RetryBackoff * math.Pow(2, float64(s.attempts-1))
+	m.eng.Schedule(backoff, func() { s.attempt() })
 }
 
 // Broadcast transmits payload to every node within Range of the sender at
@@ -350,6 +540,7 @@ func (m *Medium) Broadcast(from NodeID, payload any, size int) float64 {
 			}
 			pt := m.mob.Position(id, now)
 			if pf.Dist(pt) > m.par.Range {
+				m.counters.DroppedRange++
 				continue
 			}
 			if m.src.Bernoulli(m.par.LossRate) {

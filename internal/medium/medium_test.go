@@ -58,8 +58,11 @@ func TestUnicastOutOfRange(t *testing.T) {
 	if delivered {
 		t.Fatal("out-of-range unicast delivered")
 	}
-	if med.Counters().DroppedRange != 1 {
-		t.Fatalf("counters = %+v", med.Counters())
+	// Every attempt of the default ARQ budget misses and is counted.
+	c := med.Counters()
+	want := uint64(1 + DefaultParams().Retries)
+	if c.DroppedRange != want || c.Retransmissions != want-1 {
+		t.Fatalf("counters = %+v", c)
 	}
 }
 
@@ -141,14 +144,18 @@ func TestLossRate(t *testing.T) {
 	if delivered {
 		t.Fatal("LossRate=1 delivered a packet")
 	}
-	if med.Counters().DroppedLoss != 1 {
-		t.Fatalf("counters = %+v", med.Counters())
+	// The whole retry budget burns on the loss coin.
+	c := med.Counters()
+	want := uint64(1 + par.Retries)
+	if c.DroppedLoss != want || c.Retransmissions != want-1 {
+		t.Fatalf("counters = %+v", c)
 	}
 }
 
 func TestLossRatePartial(t *testing.T) {
 	par := DefaultParams()
 	par.LossRate = 0.5
+	par.Retries = 0 // fire-and-forget: measure the raw loss coin
 	mob := newFixed(geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 0})
 	eng, med := setup(mob, par)
 	n := 0
@@ -315,15 +322,21 @@ func TestTxRxByteCounters(t *testing.T) {
 	for i := 1; i <= 2; i++ {
 		med.Attach(NodeID(i), func(NodeID, any, int) {})
 	}
-	med.Unicast(0, 1, "x", 100) // tx 100, rx 100
+	med.Unicast(0, 1, "x", 100) // tx 100 + 14 ACK, rx 100 + 14 ACK
 	med.Broadcast(0, "y", 50)   // tx 50, rx 2*50
 	eng.Run()
+	// ACK bytes are charged to the same counters as data, so energy
+	// accounting sees the ARQ's cost.
 	c := med.Counters()
-	if c.TxBytes != 150 {
+	ack := uint64(DefaultParams().AckSize)
+	if c.TxBytes != 150+ack {
 		t.Fatalf("TxBytes = %d", c.TxBytes)
 	}
-	if c.RxBytes != 200 {
+	if c.RxBytes != 200+ack {
 		t.Fatalf("RxBytes = %d", c.RxBytes)
+	}
+	if c.AcksSent != 1 || c.AcksLost != 0 {
+		t.Fatalf("counters = %+v", c)
 	}
 }
 
@@ -387,8 +400,10 @@ func TestTxByNode(t *testing.T) {
 	med.Unicast(0, 1, "b", 10)
 	med.Broadcast(1, "c", 10)
 	eng.Run()
+	// Node 1's two ACK transmissions count toward its load: the ARQ's
+	// cost lands on the replier, as in 802.11.
 	tx := med.TxByNode()
-	if tx[0] != 2 || tx[1] != 1 {
+	if tx[0] != 2 || tx[1] != 3 {
 		t.Fatalf("TxByNode = %v", tx)
 	}
 	// Returned slice is a copy.

@@ -27,7 +27,14 @@ type PacketRecord struct {
 	Delivered bool
 	// Path lists every node that held or received the packet.
 	Path []medium.NodeID
+
+	// done guards against a record completing twice (a protocol's
+	// complete-timeout racing its terminal routing outcome).
+	done bool
 }
+
+// Done reports whether the record has been completed.
+func (r *PacketRecord) Done() bool { return r.done }
 
 // Latency returns the packet's end-to-end delay, or 0 if undelivered.
 func (r *PacketRecord) Latency() float64 {
@@ -82,7 +89,15 @@ func (c *Collector) AddPath(path []medium.NodeID) {
 // matching the paper's "RFs and relay nodes that actually participate in
 // routing" (GPSR's stable shortest path then shows its characteristic 2-3
 // participants in Fig. 10b).
+//
+// Complete is idempotent: only the first call for a record counts, so a
+// late link-layer outcome cannot double-complete a packet the protocol's
+// timeout already closed.
 func (c *Collector) Complete(r *PacketRecord, deliveredAt float64, delivered bool) {
+	if r.done {
+		return
+	}
+	r.done = true
 	r.Delivered = delivered
 	if delivered {
 		r.DeliveredAt = deliveredAt
@@ -104,6 +119,12 @@ func (c *Collector) Sent() int { return len(c.records) }
 
 // Completed returns how many packets finished (delivered or dropped).
 func (c *Collector) Completed() int { return c.completed }
+
+// Unfinished returns how many packets were issued but never completed. A
+// drained run must end at zero: every send reaches exactly one terminal
+// outcome (the accounting leak this counter regresses — frames lost on air
+// used to vanish with Completed() < Sent() silently).
+func (c *Collector) Unfinished() int { return len(c.records) - c.completed }
 
 // Delivered returns the exact number of delivered packets. Energy-per-
 // delivered and similar ratios should use this count directly rather than

@@ -108,7 +108,9 @@ func TestTimeline(t *testing.T) {
 	eng := sim.NewEngine()
 	src := rng.New(1)
 	mob := mobility.NewStatic(field, 5, src)
-	med := medium.MustNew(eng, mob, medium.DefaultParams(), src)
+	par := medium.DefaultParams()
+	par.Retries = 0 // fire-and-forget: exactly one on-air event per send
+	med := medium.MustNew(eng, mob, par, src)
 	for i := 0; i < 5; i++ {
 		med.Attach(medium.NodeID(i), func(medium.NodeID, any, int) {})
 	}
