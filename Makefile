@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-smoke figures analysis experiments fuzz clean
+.PHONY: all build test vet lint cover bench bench-smoke figures analysis experiments fuzz clean
 
 all: build vet lint test
 
@@ -20,6 +20,20 @@ lint:
 test:
 	$(GO) test ./...
 
+# Coverage floor over the packages the telemetry layer threads through.
+# Each must stay at or above COVER_FLOOR percent statement coverage.
+COVER_PKGS = ./internal/telemetry ./internal/sim ./internal/medium \
+	./internal/gpsr ./internal/core ./internal/metrics ./internal/node \
+	./internal/experiment ./internal/ao2p ./internal/alarm ./internal/zap
+COVER_FLOOR = 75.0
+
+cover:
+	@$(GO) test -cover $(COVER_PKGS) | awk -v floor=$(COVER_FLOOR) ' \
+		{ print } \
+		/coverage:/ { pct = $$5; sub(/%/, "", pct); \
+			if (pct + 0 < floor) bad = bad ORS "  " $$2 " at " $$5 " (floor " floor "%)" } \
+		END { if (bad != "") { print "FAIL: coverage below floor:" bad; exit 1 } }'
+
 # Full benchmark pass: one benchmark per paper table/figure + ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -27,8 +41,8 @@ bench:
 # Single-iteration smoke over the root figure benchmarks, leaving a
 # machine-readable artifact (cmd/benchjson parses the text output).
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr3.json
-	@echo "wrote BENCH_pr3.json"
+	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr4.json
+	@echo "wrote BENCH_pr4.json"
 
 # Regenerate every evaluation figure at paper fidelity (30 seeds).
 figures:
@@ -46,6 +60,7 @@ experiments:
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzUnmarshal -fuzztime 30s
 	$(GO) test ./internal/mobility -fuzz FuzzParseNS2 -fuzztime 30s
+	$(GO) test ./internal/sim -fuzz FuzzSchedule -fuzztime 30s
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_pr3.json
+	rm -f test_output.txt bench_output.txt BENCH_pr3.json BENCH_pr4.json

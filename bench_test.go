@@ -8,10 +8,12 @@
 package alert
 
 import (
+	"io"
 	"testing"
 
 	"alertmanet/internal/analysis"
 	"alertmanet/internal/experiment"
+	"alertmanet/internal/telemetry"
 )
 
 // sink prevents dead-code elimination of benchmark results.
@@ -290,6 +292,33 @@ func BenchmarkProtocolThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead pins the observability layer's cost contract
+// (DESIGN.md, "Observability"): "disabled" runs a full default ALERT
+// scenario with the tap nil — every emit site reduces to a branch — and
+// must stay within noise of the pre-telemetry simulator; "enabled" streams
+// every layer to a discarding writer, bounding the cost a traced run pays.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sc := experiment.DefaultScenario()
+			sc.Seed = int64(i + 1)
+			sink = experiment.MustRun(sc)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sc := experiment.DefaultScenario()
+			sc.Seed = int64(i + 1)
+			tap := telemetry.New(io.Discard, telemetry.LayerAll)
+			r, _, err := experiment.RunWorld(sc, tap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = r
+		}
+	})
 }
 
 func benchName(prefix string, v int) string {

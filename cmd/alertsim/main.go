@@ -14,10 +14,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"time"
 
 	"alertmanet/internal/experiment"
 	"alertmanet/internal/geo"
 	"alertmanet/internal/medium"
+	"alertmanet/internal/telemetry"
 	"alertmanet/internal/trace"
 )
 
@@ -49,6 +54,11 @@ func main() {
 		preset     = flag.String("preset", "", "start from a named preset (see -list-presets)")
 		listPre    = flag.Bool("list-presets", false, "list scenario presets and exit")
 		workload   = flag.String("workload", "cbr", "traffic model: cbr, poisson, burst")
+		tlmFile    = flag.String("telemetry", "", "write a structured JSONL event stream to this file (single seed only); a run manifest goes to FILE.manifest.json")
+		tlmLayers  = flag.String("tlm-layers", "all", "telemetry layers to record: comma-separated sim,medium,route,packet,crypto, or all")
+		pprofFile  = flag.String("pprof", "", "write a CPU profile to this file")
+		traceOut   = flag.String("trace", "", "write a Go execution trace to this file")
+		progress   = flag.Bool("progress", false, "with -seeds > 1, print a line as each seed finishes")
 	)
 	flag.Parse()
 
@@ -99,6 +109,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+		}()
+	}
+
 	fmt.Printf("scenario: %s, %d nodes, %.0f m/s, %s mobility, %.0f s, %d pairs\n",
 		sc.Protocol, sc.N, sc.Speed, sc.Mobility, sc.Duration, sc.Pairs)
 
@@ -109,8 +150,19 @@ func main() {
 		printRouteMap(sc, *svgOut)
 	}
 
+	if *tlmFile != "" && *seeds > 1 {
+		fmt.Fprintln(os.Stderr, "alertsim: -telemetry records one run; use -seeds 1 (with -seed to pick it)")
+		os.Exit(2)
+	}
+
 	if *seeds <= 1 {
-		r, err := experiment.Run(sc)
+		var r experiment.Result
+		var err error
+		if *tlmFile != "" {
+			r, err = runTelemetry(sc, *tlmFile, *tlmLayers)
+		} else {
+			r, err = experiment.Run(sc)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -127,7 +179,22 @@ func main() {
 		return
 	}
 
-	agg, err := experiment.RunSeeds(sc, *seeds)
+	var agg experiment.Aggregate
+	var err error
+	if *progress {
+		done := 0
+		var results []experiment.Result
+		results, err = experiment.RunParallelProgress(sc, *seeds, func(seed int, r experiment.Result) {
+			done++
+			fmt.Printf("seed %3d done (%d/%d): delivery %.4f, latency %.2f ms\n",
+				seed, done, *seeds, r.DeliveryRate, r.MeanLatency*1e3)
+		})
+		if err == nil {
+			agg = experiment.AggregateResults(results)
+		}
+	} else {
+		agg, err = experiment.RunSeeds(sc, *seeds)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -139,6 +206,59 @@ func main() {
 	fmt.Printf("random forwarders:     %.2f ± %.2f\n", agg.MeanRFs.Mean, agg.MeanRFs.CI95)
 	fmt.Printf("participating nodes:   %.1f ± %.1f\n", agg.Participants.Mean, agg.Participants.CI95)
 	fmt.Printf("route similarity:      %.3f ± %.3f\n", agg.RouteJaccard.Mean, agg.RouteJaccard.CI95)
+}
+
+// runTelemetry runs one seed with a telemetry tap threaded through the
+// stack, writing the JSONL event stream to path and the run manifest to
+// path+".manifest.json". The stream holds only simulated-time data, so two
+// runs of the same scenario and seed produce byte-identical files; wall-
+// clock quantities live in the manifest alone.
+func runTelemetry(sc experiment.Scenario, path, layers string) (experiment.Result, error) {
+	mask, err := telemetry.ParseLayers(layers)
+	if err != nil {
+		return experiment.Result{}, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return experiment.Result{}, err
+	}
+	defer f.Close()
+	tap := telemetry.New(f, mask)
+
+	start := time.Now()
+	res, w, err := experiment.RunWorld(sc, tap)
+	if err != nil {
+		return experiment.Result{}, err
+	}
+	wall := time.Since(start).Seconds()
+
+	simEnd := sc.Duration + sc.DrainTime
+	tap.WriteSnapshot(simEnd)
+	if err := tap.Flush(); err != nil {
+		return experiment.Result{}, err
+	}
+
+	mf, err := os.Create(path + ".manifest.json")
+	if err != nil {
+		return experiment.Result{}, err
+	}
+	defer mf.Close()
+	m := telemetry.Manifest{
+		ScenarioHash:    sc.Hash(),
+		Seed:            sc.Seed,
+		Protocol:        string(sc.Protocol),
+		GoVersion:       runtime.Version(),
+		WallSeconds:     wall,
+		SimSeconds:      simEnd,
+		ProcessedEvents: w.Eng.Processed(),
+		EmittedEvents:   tap.Events(),
+	}
+	if err := m.Encode(mf); err != nil {
+		return experiment.Result{}, err
+	}
+	fmt.Printf("telemetry: %d events -> %s (manifest %s.manifest.json)\n",
+		tap.Events(), path, path)
+	return res, nil
 }
 
 // printRouteMap runs one packet on a fresh copy of the scenario and renders

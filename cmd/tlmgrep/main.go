@@ -1,0 +1,104 @@
+// Command tlmgrep filters a telemetry JSONL stream (written by
+// alertsim -telemetry) by packet id, node involvement, event kind or layer,
+// so one packet's whole story — or one node's whole day — can be pulled out
+// of a multi-megabyte run in one command.
+//
+// Examples:
+//
+//	tlmgrep -packet 17 run.jsonl          # everything about packet 17
+//	tlmgrep -node 42 run.jsonl            # everything node 42 touched
+//	tlmgrep -kind loss run.jsonl          # every lost frame
+//	tlmgrep -layer route -packet 3 run.jsonl
+//	tlmgrep -count -kind leg run.jsonl    # just count leg terminations
+//
+// With no file arguments the stream is read from stdin, so it composes with
+// compression or a pipe straight out of a run.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"alertmanet/internal/telemetry"
+)
+
+func main() {
+	var (
+		packet = flag.Int("packet", -1, "keep events attributed to this packet id")
+		nodeID = flag.Int("node", -1, "keep events involving this node (any role)")
+		kind   = flag.String("kind", "", "keep events of this kind exactly (e.g. tx, loss, hop, leg, zonecast)")
+		layers = flag.String("layer", "", "keep events of these layers (comma-separated sim,medium,route,packet,crypto; empty keeps all)")
+		count  = flag.Bool("count", false, "print only the number of matching events")
+	)
+	flag.Parse()
+
+	filter := telemetry.NewFilter()
+	filter.Trace = *packet
+	filter.Node = *nodeID
+	filter.Kind = *kind
+	if *layers != "" {
+		mask, err := telemetry.ParseLayers(*layers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlmgrep:", err)
+			os.Exit(2)
+		}
+		filter.Layers = mask
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	matched := 0
+
+	grep := func(name string, r io.Reader) error {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 64*1024), 1<<20)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			ev, err := telemetry.ParseLine(line)
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", name, lineNo, err)
+			}
+			if !filter.Match(ev) {
+				continue
+			}
+			matched++
+			if !*count {
+				out.Write(line)
+				out.WriteByte('\n')
+			}
+		}
+		return sc.Err()
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		if err := grep("stdin", os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "tlmgrep:", err)
+			os.Exit(1)
+		}
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlmgrep:", err)
+			os.Exit(1)
+		}
+		err = grep(path, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlmgrep:", err)
+			os.Exit(1)
+		}
+	}
+	if *count {
+		fmt.Fprintln(out, matched)
+	}
+}

@@ -154,6 +154,7 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRec
 			finish(gp, p.net.Eng.Now(), out == gpsr.Delivered)
 		},
 	}
+	pkt.SetTrace(rec.Seq)
 	// Source-side encryption for the first hop.
 	p.net.NotePub(1)
 	p.net.Eng.Schedule(p.net.Costs.PubEncrypt, func() { p.router.Send(src, pkt) })

@@ -107,6 +107,11 @@ func New(net *node.Network, loc *locservice.Service, cfg Config, src *rng.Source
 				pkt.HopBudget > 0 {
 				pkt.HopBudget--
 				p.charge(func() {
+					// The claim bypasses Router.forward, so emit its
+					// forwarding event here to keep traces connected.
+					if tp := p.router.Tap(); tp != nil {
+						tp.Forward(p.net.Eng.Now(), pkt.TelemetryTrace(), int(id), int(m.dst), "claim")
+					}
 					p.net.Med.UnicastOutcome(id, m.dst, pkt, p.cfg.PacketSize,
 						func(out medium.SendOutcome) {
 							if out != medium.SendDelivered {
@@ -178,6 +183,7 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRec
 			p.finish(m, gp, 0, false)
 		},
 	}
+	pkt.SetTrace(rec.Seq)
 	// Source-side initial encryption for the first hop.
 	p.charge(func() { p.router.Send(src, pkt) })
 	return rec, nil

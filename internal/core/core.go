@@ -18,6 +18,7 @@ import (
 	"alertmanet/internal/node"
 	"alertmanet/internal/rng"
 	"alertmanet/internal/sim"
+	"alertmanet/internal/telemetry"
 )
 
 // Config tunes the protocol. The zero value is not valid; start from
@@ -208,6 +209,17 @@ type Protocol struct {
 	OnRequest RequestHandler
 	// OnZoneRecipients, when set, observes zone delivery recipient sets.
 	OnZoneRecipients ZoneRecipientsFunc
+
+	// tap, when non-nil, observes RF selections and zone broadcasts.
+	tap *telemetry.Tap
+}
+
+// SetTap attaches a telemetry tap observing ALERT-level routing events (RF
+// selections, zone-broadcast steps) and wires the same tap into the
+// underlying GPSR router. A nil tap (the default) disables both.
+func (p *Protocol) SetTap(t *telemetry.Tap) {
+	p.tap = t
+	p.router.SetTap(t)
 }
 
 // New creates the protocol, derives H if unset, and attaches the medium

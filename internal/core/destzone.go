@@ -45,6 +45,9 @@ func (p *Protocol) zoneDeliver(at medium.NodeID, env *Envelope) {
 			env.relayed = make(map[medium.NodeID]bool)
 		}
 		env.relayed[at] = true // the origin never re-relays its own broadcast
+		if p.tap != nil {
+			p.tap.ZoneBroadcast(p.net.Eng.Now(), envTrace(env), int(at), 1)
+		}
 		p.net.Med.Broadcast(at, &ZoneDelivery{Env: env, Step: 1}, p.sizeOf(env))
 		return
 	}
@@ -63,6 +66,9 @@ func (p *Protocol) zoneDeliver(at medium.NodeID, env *Envelope) {
 			f.rec.Hops++
 		}
 		p.counts.ZoneBroadcasts++
+		if p.tap != nil {
+			p.tap.ZoneBroadcast(p.net.Eng.Now(), envTrace(env), int(at), 1)
+		}
 		p.net.Med.Broadcast(at, &ZoneDelivery{Env: env, Step: 1}, p.sizeOf(env))
 		return
 	}
@@ -99,6 +105,9 @@ func (p *Protocol) zoneDeliver(at medium.NodeID, env *Envelope) {
 	// multicast leaves.
 	p.net.NotePub(1)
 	p.net.Eng.Schedule(p.net.Costs.PubEncrypt, func() {
+		if p.tap != nil {
+			p.tap.ZoneBroadcast(p.net.Eng.Now(), envTrace(env), int(at), 1)
+		}
 		zdl := &ZoneDelivery{Env: &mutated, Step: 1}
 		for _, h := range holders {
 			p.net.Med.Unicast(at, h, zdl, p.sizeOf(env))
@@ -205,6 +214,9 @@ func (p *Protocol) handleZone(at medium.NodeID, _ medium.NodeID, zdl *ZoneDelive
 		}
 		if !env.relayed[at] {
 			env.relayed[at] = true
+			if p.tap != nil {
+				p.tap.ZoneBroadcast(p.net.Eng.Now(), envTrace(env), int(at), 1)
+			}
 			p.net.Med.Broadcast(at, zdl, p.sizeOf(env))
 		}
 	}
@@ -277,6 +289,9 @@ func (p *Protocol) release(item *heldItem) {
 	env := item.zdl.Env
 	if env.flight != nil {
 		env.flight.rec.Hops++
+	}
+	if p.tap != nil {
+		p.tap.ZoneBroadcast(p.net.Eng.Now(), envTrace(env), int(item.holder), 2)
 	}
 	p.net.Med.Broadcast(item.holder, &ZoneDelivery{Env: env, Step: 2}, p.sizeOf(env))
 }

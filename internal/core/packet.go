@@ -15,6 +15,7 @@ import (
 	"alertmanet/internal/crypt"
 	"alertmanet/internal/geo"
 	"alertmanet/internal/medium"
+	"alertmanet/internal/telemetry"
 )
 
 // Kind distinguishes the three packet roles sharing ALERT's universal
@@ -127,6 +128,20 @@ type ZoneDelivery struct {
 	// (Section 3.3, Fig. 5c).
 	Step int
 }
+
+// envTrace returns the telemetry packet id an envelope's events attribute
+// to: its flight's metrics sequence number, or NoTrace for reply/ack/NAK
+// envelopes that have no flight of their own.
+func envTrace(env *Envelope) int {
+	if env.flight != nil {
+		return env.flight.rec.Seq
+	}
+	return telemetry.NoTrace
+}
+
+// TelemetryTrace implements telemetry.Traceable, so frames carrying a zone
+// delivery attribute to the packet that triggered it.
+func (z *ZoneDelivery) TelemetryTrace() int { return envTrace(z.Env) }
 
 // coverPacket is notify-and-go cover traffic: a few random bytes with no
 // valid (decryptable) TTL, dropped by every receiver after a failed

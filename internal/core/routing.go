@@ -204,6 +204,9 @@ func (p *Protocol) route(at medium.NodeID, env *Envelope) {
 			case gpsr.ArrivedClosest:
 				if f != nil && rf != at {
 					f.rec.RFs++
+					if p.tap != nil {
+						p.tap.RFSelected(p.net.Eng.Now(), f.rec.Seq, int(rf))
+					}
 				}
 				p.route(rf, env)
 			default:
@@ -211,6 +214,9 @@ func (p *Protocol) route(at medium.NodeID, env *Envelope) {
 				p.failLeg(env)
 			}
 		},
+	}
+	if f := env.flight; f != nil {
+		pkt.SetTrace(f.rec.Seq)
 	}
 	p.router.Send(at, pkt)
 }

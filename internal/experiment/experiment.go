@@ -6,6 +6,9 @@
 package experiment
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -27,6 +30,7 @@ import (
 	"alertmanet/internal/rng"
 	"alertmanet/internal/sim"
 	"alertmanet/internal/stats"
+	"alertmanet/internal/telemetry"
 	"alertmanet/internal/zap"
 )
 
@@ -100,6 +104,10 @@ type Scenario struct {
 	PacketSize    int
 	LossRate      float64
 	HelloInterval float64
+	// MaxEvents, when non-zero, bounds the engine's event budget: a run
+	// whose event count exceeds it fails with sim.ErrMaxEvents instead of
+	// hanging — the guard rail for fuzzed or adversarial scenarios.
+	MaxEvents uint64
 	// NoARQ disables the medium's link-layer ACK/retransmission (sets
 	// medium.Params.Retries to 0), reproducing the fire-and-forget
 	// channel of the pre-ARQ harness for before/after comparisons.
@@ -209,6 +217,21 @@ func (sc Scenario) Validate() error {
 	return nil
 }
 
+// Hash returns a hex SHA-256 content hash of the full scenario
+// configuration — the identity a telemetry run manifest records, so a JSONL
+// stream can be matched back to exactly what was simulated.
+func (sc Scenario) Hash() string {
+	// Scenario is a plain data struct: every field (including the nested
+	// protocol configs) is JSON-marshalable, so this cannot fail.
+	buf, err := json.Marshal(sc)
+	if err != nil {
+		//lint:allowpanic a non-marshalable Scenario is a compile-time-shape bug, not a runtime condition
+		panic(fmt.Sprintf("experiment: hash scenario: %v", err))
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}
+
 // Proto is the common protocol surface the harness drives. Send's error
 // reports a failure to even launch the packet (ALERT's session-key or
 // source-zone encryption being rejected by the destination key); the
@@ -232,6 +255,30 @@ type World struct {
 	Alert *core.Protocol
 	// Rand is the workload random stream.
 	Rand *rng.Source
+	// Tap is the telemetry tap attached by EnableTelemetry (nil when
+	// telemetry is off).
+	Tap *telemetry.Tap
+}
+
+// EnableTelemetry threads one tap through every instrumented layer of the
+// world: engine, medium, router, protocol (ALERT's RF/zone events), crypto
+// charges and the metrics collector. Call it after Build and before any
+// traffic; a nil tap is a no-op, leaving every layer on its zero-cost
+// disabled path.
+func (w *World) EnableTelemetry(tap *telemetry.Tap) {
+	if tap == nil {
+		return
+	}
+	w.Tap = tap
+	w.Eng.SetTap(tap)
+	w.Med.SetTap(tap)
+	w.Net.SetTap(tap)
+	if w.Alert != nil {
+		w.Alert.SetTap(tap) // wires the router tap too
+	} else if r := w.Router(); r != nil {
+		r.SetTap(tap)
+	}
+	w.Proto.Collector().SetTap(tap, w.Eng.Now)
 }
 
 // Build assembles a World from a scenario without starting any traffic.
@@ -243,6 +290,7 @@ func Build(sc Scenario) (*World, error) {
 	}
 	src := rng.New(sc.Seed)
 	eng := sim.NewEngine()
+	eng.SetMaxEvents(sc.MaxEvents)
 
 	var mob mobility.Model
 	switch sc.Mobility {
@@ -428,14 +476,27 @@ type Result struct {
 
 // Run builds the world, drives the workload, and collects metrics.
 func Run(sc Scenario) (Result, error) {
+	res, _, err := RunWorld(sc, nil)
+	return res, err
+}
+
+// RunWorld is Run with an optional telemetry tap threaded through the
+// whole stack, returning the drained world alongside the metrics so a
+// caller can also snapshot the tap's registry, engine counters or channel
+// state. The build→pairs→workload→drain→collect order is the determinism
+// contract: telemetry must not perturb it.
+func RunWorld(sc Scenario, tap *telemetry.Tap) (Result, *World, error) {
 	w, err := Build(sc)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
+	w.EnableTelemetry(tap)
 	pairs := w.ChoosePairs()
 	w.StartWorkload(pairs)
-	w.Drain()
-	return w.Collect(pairs), nil
+	if err := w.Drain(); err != nil {
+		return Result{}, nil, err
+	}
+	return w.Collect(pairs), w, nil
 }
 
 // MustRun is Run for callers whose scenario is known good; it panics on
@@ -451,9 +512,10 @@ func MustRun(sc Scenario) Result {
 // Drain executes the simulation through the send horizon plus the drain
 // phase: traffic stops at Scenario.Duration (the workload driver's
 // invariant) and in-flight packets get Scenario.DrainTime more seconds to
-// finish. This is the one place the run's time horizon is defined.
-func (w *World) Drain() {
-	w.Eng.RunUntil(w.Scenario.Duration + w.Scenario.DrainTime)
+// finish. This is the one place the run's time horizon is defined. The
+// error is sim.ErrMaxEvents when Scenario.MaxEvents is set and exhausted.
+func (w *World) Drain() error {
+	return w.Eng.RunUntil(w.Scenario.Duration + w.Scenario.DrainTime)
 }
 
 // Collect summarizes the collector into a Result.
@@ -585,6 +647,15 @@ type Aggregate struct {
 // once up front; with a valid scenario the only per-run failure mode left
 // is an unreadable NS-2 trace, and the first such error is returned.
 func RunParallel(sc Scenario, seeds int) ([]Result, error) {
+	return RunParallelProgress(sc, seeds, nil)
+}
+
+// RunParallelProgress is RunParallel with a per-seed completion callback:
+// progress(seed, result) fires once per finished run, serialized under a
+// mutex, in completion order (not seed order — that is the point of a
+// progress signal). A nil progress is RunParallel. The returned slice is
+// still in seed order.
+func RunParallelProgress(sc Scenario, seeds int, progress func(seed int, r Result)) ([]Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -595,6 +666,7 @@ func RunParallel(sc Scenario, seeds int) ([]Result, error) {
 		workers = seeds
 	}
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -604,6 +676,11 @@ func RunParallel(sc Scenario, seeds int) ([]Result, error) {
 				run := sc
 				run.Seed = int64(i + 1)
 				results[i], errs[i] = Run(run)
+				if progress != nil && errs[i] == nil {
+					progressMu.Lock()
+					progress(i+1, results[i])
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -637,7 +714,12 @@ func RunSeeds(sc Scenario, seeds int) (Aggregate, error) {
 	if err != nil {
 		return Aggregate{}, err
 	}
+	return AggregateResults(results), nil
+}
 
+// AggregateResults summarizes per-seed results with 95% confidence
+// intervals, in slice order.
+func AggregateResults(results []Result) Aggregate {
 	var del, lat, hops, rfs, parts, jac stats.Sample
 	for _, r := range results {
 		del.Add(r.DeliveryRate)
@@ -654,7 +736,7 @@ func RunSeeds(sc Scenario, seeds int) (Aggregate, error) {
 		MeanRFs:       rfs.Summarize(),
 		Participants:  parts.Summarize(),
 		RouteJaccard:  jac.Summarize(),
-	}, nil
+	}
 }
 
 // MustRunSeeds is RunSeeds for callers whose scenario is known good; it

@@ -89,6 +89,7 @@ func (a *App) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, 
 			finish(a.net.Eng.Now(), out == Delivered)
 		},
 	}
+	pkt.SetTrace(rec.Seq)
 	a.router.Send(src, pkt)
 	return rec, nil
 }

@@ -18,6 +18,7 @@ import (
 	"alertmanet/internal/geo"
 	"alertmanet/internal/medium"
 	"alertmanet/internal/node"
+	"alertmanet/internal/telemetry"
 )
 
 // Mode is a packet's forwarding state.
@@ -99,6 +100,26 @@ type Packet struct {
 	prev      medium.NodeID // previous holder (perimeter right-hand rule)
 	firstFrom medium.NodeID // first perimeter edge, loop detection
 	firstTo   medium.NodeID
+	// trace is the end-to-end packet id (metrics.Record.Seq) telemetry
+	// attributes this packet's events to; hasTrace distinguishes an unset
+	// trace from a legitimate id 0.
+	trace    int
+	hasTrace bool
+}
+
+// SetTrace attributes the packet (and every frame carrying it) to an
+// end-to-end packet id in telemetry streams.
+func (p *Packet) SetTrace(seq int) {
+	p.trace = seq
+	p.hasTrace = true
+}
+
+// TelemetryTrace implements telemetry.Traceable.
+func (p *Packet) TelemetryTrace() int {
+	if !p.hasTrace {
+		return telemetry.NoTrace
+	}
+	return p.trace
 }
 
 // Counters aggregates router activity. Every Sent routing attempt ends in
@@ -136,10 +157,21 @@ type Router struct {
 	counts Counters
 	// Planar selects the perimeter-mode planarization.
 	Planar Planarization
+	// tap, when non-nil, observes sends, forwards, hops and leg endings.
+	tap *telemetry.Tap
 }
 
 // New creates a router for the network.
 func New(net *node.Network) *Router { return &Router{net: net} }
+
+// SetTap attaches a telemetry tap observing routing decisions. A nil tap
+// (the default) disables routing telemetry.
+func (r *Router) SetTap(t *telemetry.Tap) { r.tap = t }
+
+// Tap returns the attached telemetry tap (nil when disabled); protocol
+// layers whose demux short-circuits the router use it to emit their own
+// forwarding events on the same stream.
+func (r *Router) Tap() *telemetry.Tap { return r.tap }
 
 // Counters returns a snapshot of routing statistics.
 func (r *Router) Counters() Counters { return r.counts }
@@ -162,6 +194,9 @@ func (r *Router) Send(from medium.NodeID, pkt *Packet) {
 	pkt.mode = Greedy
 	pkt.prev = NoDeliverTo
 	pkt.Path = append(pkt.Path, from)
+	if r.tap != nil {
+		r.tap.RouteSend(r.net.Eng.Now(), pkt.TelemetryTrace(), int(from))
+	}
 	r.Handle(from, pkt)
 }
 
@@ -179,6 +214,9 @@ func (r *Router) Receive(cur medium.NodeID, pkt *Packet) {
 	pkt.Path = append(pkt.Path, cur)
 	pkt.Hops++
 	r.counts.TotalHops++
+	if r.tap != nil {
+		r.tap.Hop(r.net.Eng.Now(), pkt.TelemetryTrace(), int(cur), pkt.Hops)
+	}
 }
 
 // Finish terminates pkt's routing at node cur with the given outcome,
@@ -294,6 +332,13 @@ func (r *Router) forward(cur, next medium.NodeID, pkt *Packet) {
 	}
 	pkt.HopBudget--
 	pkt.prev = cur
+	if r.tap != nil {
+		mode := "greedy"
+		if pkt.mode == Perimeter {
+			mode = "perimeter"
+		}
+		r.tap.Forward(r.net.Eng.Now(), pkt.TelemetryTrace(), int(cur), int(next), mode)
+	}
 	r.net.Med.UnicastOutcome(cur, next, pkt, pkt.Size, func(out medium.SendOutcome) {
 		if out != medium.SendDelivered {
 			r.finish(cur, pkt, DroppedLink)
@@ -313,6 +358,9 @@ func (r *Router) finish(at medium.NodeID, pkt *Packet, out Outcome) {
 		r.counts.DroppedDeadEnd++
 	case DroppedLink:
 		r.counts.DroppedLink++
+	}
+	if r.tap != nil {
+		r.tap.LegEnd(r.net.Eng.Now(), pkt.TelemetryTrace(), int(at), out.String())
 	}
 	if pkt.OnOutcome != nil {
 		pkt.OnOutcome(at, pkt, out)

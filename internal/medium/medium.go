@@ -22,6 +22,7 @@ import (
 	"alertmanet/internal/mobility"
 	"alertmanet/internal/rng"
 	"alertmanet/internal/sim"
+	"alertmanet/internal/telemetry"
 )
 
 // NodeID identifies a node; ids are dense indices into the mobility model.
@@ -180,6 +181,9 @@ type Medium struct {
 	beacons beaconCache
 	// txByNode counts transmissions per node (load-balance metrics).
 	txByNode []uint64
+	// tap, when non-nil, observes every frame/ACK transmission, reception
+	// and loss.
+	tap *telemetry.Tap
 }
 
 // beaconCache is one hello tick's position snapshot bucketed into cells of
@@ -284,6 +288,12 @@ func (m *Medium) Restore(id NodeID) { delete(m.compromised, id) }
 
 // Compromised reports whether a node is currently sinking packets.
 func (m *Medium) Compromised(id NodeID) bool { return m.compromised[id] }
+
+// SetTap attaches a telemetry tap observing frame-level channel activity.
+// A nil tap (the default) disables medium telemetry; emit sites are guarded
+// by a branch on the field, so the disabled path costs nothing but that
+// branch.
+func (m *Medium) SetTap(t *telemetry.Tap) { m.tap = t }
 
 // Counters returns a snapshot of channel activity.
 func (m *Medium) Counters() Counters { return m.counters }
@@ -417,6 +427,9 @@ func (s *arqSend) attempt() float64 {
 	s.attempts++
 	if m.compromised[s.from] {
 		m.counters.DroppedCompromised++
+		if m.tap != nil {
+			m.tap.FrameLost(m.eng.Now(), int(s.from), int(s.to), telemetry.TraceOf(s.payload), "compromised")
+		}
 		if s.delivered {
 			s.resolve(SendDelivered)
 		} else {
@@ -430,6 +443,9 @@ func (s *arqSend) attempt() float64 {
 	m.counters.TxBytes += uint64(s.size)
 	m.txByNode[s.from]++
 	m.notifySend(s.from, s.to, s.payload, s.size)
+	if m.tap != nil {
+		m.tap.FrameTx(m.eng.Now(), int(s.from), int(s.to), telemetry.TraceOf(s.payload), s.size, s.attempts)
+	}
 	at := m.eng.Now() + m.txDelay(s.size)
 	m.eng.At(at, s.arrive)
 	return at
@@ -443,11 +459,17 @@ func (s *arqSend) arrive() {
 	pt := m.mob.Position(int(s.to), now)
 	if pf.Dist(pt) > m.par.Range {
 		m.counters.DroppedRange++
+		if m.tap != nil {
+			m.tap.FrameLost(now, int(s.from), int(s.to), telemetry.TraceOf(s.payload), "range")
+		}
 		s.retryOrFail()
 		return
 	}
 	if m.src.Bernoulli(m.par.LossRate) {
 		m.counters.DroppedLoss++
+		if m.tap != nil {
+			m.tap.FrameLost(now, int(s.from), int(s.to), telemetry.TraceOf(s.payload), "loss")
+		}
 		s.retryOrFail()
 		return
 	}
@@ -458,12 +480,18 @@ func (s *arqSend) arrive() {
 		// correlating receptions should not double-count one frame.
 		m.counters.Duplicates++
 		m.counters.RxBytes += uint64(s.size)
+		if m.tap != nil {
+			m.tap.FrameDup(now, int(s.from), int(s.to), telemetry.TraceOf(s.payload))
+		}
 		s.sendAck()
 		return
 	}
 	s.delivered = true
 	m.counters.Delivered++
 	m.counters.RxBytes += uint64(s.size)
+	if m.tap != nil {
+		m.tap.FrameRx(now, int(s.from), int(s.to), telemetry.TraceOf(s.payload), s.size)
+	}
 	m.notifyRecv(s.from, s.to, s.payload, s.size)
 	if h := m.handlers[s.to]; h != nil {
 		h(s.from, s.payload, s.size)
@@ -486,12 +514,18 @@ func (s *arqSend) sendAck() {
 	m.counters.AcksSent++
 	m.counters.TxBytes += uint64(m.par.AckSize)
 	m.txByNode[s.to]++
+	if m.tap != nil {
+		m.tap.AckTx(m.eng.Now(), int(s.to), int(s.from), telemetry.TraceOf(s.payload))
+	}
 	m.eng.At(m.eng.Now()+m.txDelay(m.par.AckSize), func() {
 		now := m.eng.Now()
 		pt := m.mob.Position(int(s.to), now)
 		pf := m.mob.Position(int(s.from), now)
 		if pt.Dist(pf) > m.par.Range || m.src.Bernoulli(m.par.LossRate) {
 			m.counters.AcksLost++
+			if m.tap != nil {
+				m.tap.AckLost(now, int(s.to), int(s.from), telemetry.TraceOf(s.payload))
+			}
 			s.retryOrFail()
 			return
 		}
@@ -525,11 +559,17 @@ func (m *Medium) Broadcast(from NodeID, payload any, size int) float64 {
 	m.counters.BroadcastsSent++
 	if m.compromised[from] {
 		m.counters.DroppedCompromised++
+		if m.tap != nil {
+			m.tap.FrameLost(m.eng.Now(), int(from), int(BroadcastID), telemetry.TraceOf(payload), "compromised")
+		}
 		return m.eng.Now()
 	}
 	m.counters.TxBytes += uint64(size)
 	m.txByNode[from]++
 	m.notifySend(from, BroadcastID, payload, size)
+	if m.tap != nil {
+		m.tap.BroadcastTx(m.eng.Now(), int(from), telemetry.TraceOf(payload), size)
+	}
 	at := m.eng.Now() + m.txDelay(size)
 	m.eng.At(at, func() {
 		now := m.eng.Now()
@@ -540,15 +580,25 @@ func (m *Medium) Broadcast(from NodeID, payload any, size int) float64 {
 			}
 			pt := m.mob.Position(id, now)
 			if pf.Dist(pt) > m.par.Range {
+				// Out-of-range receivers of a broadcast are physics, not
+				// loss: emitting one event per distant node would add
+				// ~N lines per broadcast with no diagnostic value, so
+				// the tap deliberately stays silent here.
 				m.counters.DroppedRange++
 				continue
 			}
 			if m.src.Bernoulli(m.par.LossRate) {
 				m.counters.DroppedLoss++
+				if m.tap != nil {
+					m.tap.FrameLost(now, int(from), id, telemetry.TraceOf(payload), "loss")
+				}
 				continue
 			}
 			m.counters.Delivered++
 			m.counters.RxBytes += uint64(size)
+			if m.tap != nil {
+				m.tap.FrameRx(now, int(from), id, telemetry.TraceOf(payload), size)
+			}
 			m.notifyRecv(from, NodeID(id), payload, size)
 			if h := m.handlers[id]; h != nil {
 				h(from, payload, size)

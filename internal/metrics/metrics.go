@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"alertmanet/internal/medium"
+	"alertmanet/internal/telemetry"
 )
 
 // PacketRecord traces one application packet end to end.
@@ -57,6 +58,19 @@ type Collector struct {
 	// e.g. ALARM's periodic identity dissemination (Fig. 15).
 	ExtraHops uint64
 	completed int
+	// tap, when non-nil, observes packet lifecycle endpoints; now supplies
+	// the simulated clock for completion events (Complete's deliveredAt is
+	// zero for undelivered packets).
+	tap *telemetry.Tap
+	now func() float64
+}
+
+// SetTap attaches a telemetry tap observing packet starts and completions.
+// now supplies the current simulated time for completion events. A nil tap
+// (the default) disables packet telemetry.
+func (c *Collector) SetTap(t *telemetry.Tap, now func() float64) {
+	c.tap = t
+	c.now = now
 }
 
 // NewCollector creates an empty collector.
@@ -68,6 +82,9 @@ func NewCollector() *Collector {
 func (c *Collector) Start(src, dst medium.NodeID, now float64) *PacketRecord {
 	r := &PacketRecord{Seq: len(c.records), Src: src, Dst: dst, SentAt: now}
 	c.records = append(c.records, r)
+	if c.tap != nil {
+		c.tap.PacketSent(now, r.Seq, int(src), int(dst))
+	}
 	return r
 }
 
@@ -109,6 +126,13 @@ func (c *Collector) Complete(r *PacketRecord, deliveredAt float64, delivered boo
 	}
 	c.completed++
 	c.cumulative = append(c.cumulative, len(c.participants))
+	if c.tap != nil {
+		at := deliveredAt
+		if c.now != nil {
+			at = c.now()
+		}
+		c.tap.PacketDone(at, r.Seq, delivered, r.Hops, r.Latency())
+	}
 }
 
 // Records returns all packet records.

@@ -11,6 +11,7 @@ import (
 	"alertmanet/internal/medium"
 	"alertmanet/internal/rng"
 	"alertmanet/internal/sim"
+	"alertmanet/internal/telemetry"
 )
 
 // Node is one participant in the MANET.
@@ -58,7 +59,13 @@ type Network struct {
 	Ops CryptoOps
 
 	rnd *rng.Source
+	// tap, when non-nil, observes crypto cost charges.
+	tap *telemetry.Tap
 }
+
+// SetTap attaches a telemetry tap observing crypto cost charges. A nil tap
+// (the default) disables them.
+func (net *Network) SetTap(t *telemetry.Tap) { net.tap = t }
 
 // Config controls node-level behaviour.
 type Config struct {
@@ -149,21 +156,37 @@ func (net *Network) Rand() *rng.Source { return net.rnd }
 // simulated time.
 func (net *Network) ChargeSym(fn func()) {
 	net.Ops.Sym++
+	if net.tap != nil {
+		net.tap.Crypto(net.Eng.Now(), "sym", 1)
+	}
 	net.Eng.Schedule(net.Costs.SymEncrypt, fn)
 }
 
 // ChargePub schedules fn after one public-key-operation charge.
 func (net *Network) ChargePub(fn func()) {
 	net.Ops.Pub++
+	if net.tap != nil {
+		net.tap.Crypto(net.Eng.Now(), "pub", 1)
+	}
 	net.Eng.Schedule(net.Costs.PubEncrypt, fn)
 }
 
 // NoteSym records n symmetric operations for energy accounting (used by
 // protocols that schedule their own combined charges).
-func (net *Network) NoteSym(n int) { net.Ops.Sym += uint64(n) }
+func (net *Network) NoteSym(n int) {
+	net.Ops.Sym += uint64(n)
+	if net.tap != nil {
+		net.tap.Crypto(net.Eng.Now(), "sym", n)
+	}
+}
 
 // NotePub records n public-key operations for energy accounting.
-func (net *Network) NotePub(n int) { net.Ops.Pub += uint64(n) }
+func (net *Network) NotePub(n int) {
+	net.Ops.Pub += uint64(n)
+	if net.tap != nil {
+		net.tap.Crypto(net.Eng.Now(), "pub", n)
+	}
+}
 
 // ChargeN schedules fn after n charges of the given per-op cost.
 func (net *Network) ChargeN(n int, perOp float64, fn func()) {

@@ -8,8 +8,11 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
+
+	"alertmanet/internal/telemetry"
 )
 
 // Time is simulated time in seconds since the start of the run.
@@ -66,6 +69,12 @@ type Engine struct {
 	// Processed counts events executed; useful for progress accounting
 	// and loop-protection in tests.
 	processed uint64
+	// maxEvents, when non-zero, bounds processed events: Run and RunUntil
+	// return ErrMaxEvents instead of executing past the budget, so a
+	// self-rescheduling event loop fails a test instead of hanging it.
+	maxEvents uint64
+	// tap, when non-nil, observes every schedule/fire/cancel.
+	tap *telemetry.Tap
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -81,6 +90,33 @@ func (e *Engine) Pending() int { return len(e.byID) }
 
 // Processed returns how many events have been executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetTap attaches a telemetry tap observing every schedule, fire and
+// cancel. A nil tap (the default) disables engine telemetry; every emit
+// site is guarded by a branch on the field, so the disabled path costs one
+// predictable branch and no allocation.
+func (e *Engine) SetTap(t *telemetry.Tap) { e.tap = t }
+
+// ErrMaxEvents reports that an engine exceeded its SetMaxEvents budget with
+// events still pending — almost always a self-rescheduling event loop.
+var ErrMaxEvents = errors.New("sim: event budget exhausted")
+
+// SetMaxEvents bounds the total number of events the engine will execute
+// (0, the default, means unlimited). The budget is checked by Run and
+// RunUntil, which return ErrMaxEvents rather than executing past it — the
+// backstop that turns a runaway scheduling loop into a test failure instead
+// of a hang.
+func (e *Engine) SetMaxEvents(max uint64) { e.maxEvents = max }
+
+// budgetErr returns the error for an exhausted event budget, nil while the
+// budget (if any) has room.
+func (e *Engine) budgetErr() error {
+	if e.maxEvents > 0 && e.processed >= e.maxEvents {
+		return fmt.Errorf("%w: %d events processed, %d still pending at t=%v",
+			ErrMaxEvents, e.processed, len(e.byID), e.now)
+	}
+	return nil
+}
 
 // Schedule runs fn after the given delay (>= 0). Scheduling into the past
 // panics: that is always a protocol-logic bug.
@@ -103,6 +139,9 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	ev := &event{at: t, seq: e.seq, id: e.nextID, fn: fn}
 	heap.Push(&e.pending, ev)
 	e.byID[ev.id] = ev
+	if e.tap != nil {
+		e.tap.SimScheduled(e.now, t, uint64(ev.id))
+	}
 	return ev.id
 }
 
@@ -116,6 +155,9 @@ func (e *Engine) Cancel(id EventID) {
 	delete(e.byID, id)
 	ev.dead = true
 	heap.Remove(&e.pending, ev.idx)
+	if e.tap != nil {
+		e.tap.SimCancelled(e.now, uint64(id))
+	}
 }
 
 // Step executes the next event, advancing the clock to its timestamp.
@@ -129,21 +171,37 @@ func (e *Engine) Step() bool {
 		delete(e.byID, ev.id)
 		e.now = ev.at
 		e.processed++
+		if e.tap != nil {
+			e.tap.SimFired(e.now, uint64(ev.id))
+		}
 		ev.fn()
 		return true
 	}
 	return false
 }
 
-// Run executes events until none remain.
-func (e *Engine) Run() {
-	for e.Step() {
+// Run executes events until none remain, or until the SetMaxEvents budget
+// (if any) is exhausted with events still pending, in which case it stops
+// and returns ErrMaxEvents.
+func (e *Engine) Run() error {
+	for {
+		if len(e.pending) == 0 {
+			return nil
+		}
+		if err := e.budgetErr(); err != nil {
+			return err
+		}
+		if !e.Step() {
+			return nil
+		}
 	}
 }
 
 // RunUntil executes events with timestamps <= t and then advances the clock
-// to exactly t. Events scheduled later remain pending.
-func (e *Engine) RunUntil(t Time) {
+// to exactly t. Events scheduled later remain pending. Like Run, it stops
+// with ErrMaxEvents when the SetMaxEvents budget runs out before the
+// horizon is reached.
+func (e *Engine) RunUntil(t Time) error {
 	for len(e.pending) > 0 {
 		// Peek.
 		next := e.pending[0]
@@ -154,11 +212,15 @@ func (e *Engine) RunUntil(t Time) {
 		if next.at > t {
 			break
 		}
+		if err := e.budgetErr(); err != nil {
+			return err
+		}
 		e.Step()
 	}
 	if t > e.now {
 		e.now = t
 	}
+	return nil
 }
 
 // Ticker schedules fn every interval seconds starting at start, until the

@@ -1,0 +1,122 @@
+// Event parsing and filtering: the read side of the JSONL stream, used by
+// cmd/tlmgrep and by the lifecycle property tests that replay a run's story
+// from its events.
+
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one parsed JSONL line. Fields absent from a line keep their
+// zero value, except the id-like fields (Trace, Node, From, To, Src, Dst),
+// which default to -1 so a valid node or packet id 0 is distinguishable
+// from "not present".
+type Event struct {
+	T     float64 `json:"t"`
+	Layer string  `json:"layer"`
+	Kind  string  `json:"kind"`
+
+	// sim fields
+	ID uint64  `json:"id"`
+	At float64 `json:"at"`
+
+	// identity fields (-1 = not present)
+	Trace int `json:"trace"`
+	Node  int `json:"node"`
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Src   int `json:"src"`
+	Dst   int `json:"dst"`
+
+	Size    int     `json:"size"`
+	Attempt int     `json:"attempt"`
+	Hops    int     `json:"hops"`
+	Step    int     `json:"step"`
+	N       uint64  `json:"n"`
+	Latency float64 `json:"latency"`
+	// Detail carries the event's string qualifier: a loss reason, a
+	// forwarding mode, a leg outcome, "delivered"/"dropped", a crypto op.
+	Detail string `json:"detail"`
+
+	// registry snapshot fields
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Buckets [][2]float64 `json:"buckets"`
+}
+
+// ParseLine parses one JSONL line into an Event.
+func ParseLine(line []byte) (Event, error) {
+	ev := Event{Trace: -1, Node: -1, From: -1, To: -1, Src: -1, Dst: -1}
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return Event{}, fmt.Errorf("telemetry: parse event: %w", err)
+	}
+	return ev, nil
+}
+
+// maxLine bounds one JSONL line; registry hist lines are the longest and
+// stay well under this.
+const maxLine = 1 << 20
+
+// ReadAll parses a whole JSONL stream.
+func ReadAll(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		ev, err := ParseLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: read events: %w", err)
+	}
+	return out, nil
+}
+
+// Filter selects events by packet trace id, node involvement, kind and
+// layer. Zero-valued (or -1 for ids) fields match everything.
+type Filter struct {
+	// Trace matches events attributed to this packet id (-1: any).
+	Trace int
+	// Node matches events that involve this node in any role — node, from,
+	// to, src or dst (-1: any).
+	Node int
+	// Kind matches the event kind exactly ("" matches any).
+	Kind string
+	// Layers is a mask of layers to keep (0 keeps all).
+	Layers Layer
+}
+
+// NewFilter returns a filter that matches every event.
+func NewFilter() Filter { return Filter{Trace: -1, Node: -1} }
+
+// Match reports whether the event passes the filter.
+func (f Filter) Match(ev Event) bool {
+	if f.Trace >= 0 && ev.Trace != f.Trace {
+		return false
+	}
+	if f.Node >= 0 &&
+		ev.Node != f.Node && ev.From != f.Node && ev.To != f.Node &&
+		ev.Src != f.Node && ev.Dst != f.Node {
+		return false
+	}
+	if f.Kind != "" && ev.Kind != f.Kind {
+		return false
+	}
+	if f.Layers != 0 && f.Layers&LayerByName(ev.Layer) == 0 {
+		return false
+	}
+	return true
+}

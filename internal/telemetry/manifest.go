@@ -1,0 +1,50 @@
+// The run manifest: the provenance record written next to a telemetry
+// stream so a JSONL file is self-describing — which scenario (by hash),
+// which seed, which toolchain, and how much work the run did. Wall-clock
+// quantities live here and only here: the event stream itself must stay
+// byte-identical across runs of the same seed.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Manifest describes one telemetry run.
+type Manifest struct {
+	// ScenarioHash is a content hash of the full scenario configuration
+	// (experiment.Scenario.Hash), identifying what was simulated.
+	ScenarioHash string `json:"scenario_hash"`
+	// Seed is the run's random seed.
+	Seed int64 `json:"seed"`
+	// Protocol is the routing protocol under test.
+	Protocol string `json:"protocol"`
+	// GoVersion is the toolchain that produced the run.
+	GoVersion string `json:"go_version"`
+	// WallSeconds is the run's host wall-clock duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimSeconds is the simulated horizon (Duration + DrainTime).
+	SimSeconds float64 `json:"sim_seconds"`
+	// ProcessedEvents is how many engine events the run executed.
+	ProcessedEvents uint64 `json:"processed_events"`
+	// EventsPerSecond is ProcessedEvents / WallSeconds (0 when wall time
+	// was not measured).
+	EventsPerSecond float64 `json:"events_per_second"`
+	// EmittedEvents is how many telemetry lines the tap wrote.
+	EmittedEvents uint64 `json:"emitted_events"`
+}
+
+// Encode writes the manifest as indented JSON.
+func (m Manifest) Encode(w io.Writer) error {
+	if m.WallSeconds > 0 {
+		m.EventsPerSecond = float64(m.ProcessedEvents) / m.WallSeconds
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("telemetry: encode manifest: %w", err)
+	}
+	return nil
+}

@@ -55,6 +55,10 @@ type flood struct {
 	Zone geo.Rect
 }
 
+// TelemetryTrace implements telemetry.Traceable, attributing flood frames
+// to the packet that triggered them.
+func (f *flood) TelemetryTrace() int { return f.m.rec.Seq }
+
 // meta is per-packet simulation bookkeeping.
 type meta struct {
 	rec       *metrics.PacketRecord
@@ -172,6 +176,7 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRec
 			p.broadcastZone(at, m)
 		},
 	}
+	pkt.SetTrace(rec.Seq)
 	// One symmetric seal at the source; ZAP carries no per-hop crypto.
 	p.net.NoteSym(1)
 	p.net.Eng.Schedule(p.net.Costs.SymEncrypt, func() { p.router.Send(src, pkt) })
