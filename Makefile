@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint cover bench bench-smoke figures analysis experiments fuzz clean
+.PHONY: all build test vet lint cover bench bench-smoke figures campaign-smoke analysis experiments fuzz clean
 
 all: build vet lint test
 
@@ -24,7 +24,8 @@ test:
 # Each must stay at or above COVER_FLOOR percent statement coverage.
 COVER_PKGS = ./internal/telemetry ./internal/sim ./internal/medium \
 	./internal/gpsr ./internal/core ./internal/metrics ./internal/node \
-	./internal/experiment ./internal/ao2p ./internal/alarm ./internal/zap
+	./internal/experiment ./internal/ao2p ./internal/alarm ./internal/zap \
+	./internal/campaign
 COVER_FLOOR = 75.0
 
 cover:
@@ -41,12 +42,23 @@ bench:
 # Single-iteration smoke over the root figure benchmarks, leaving a
 # machine-readable artifact (cmd/benchjson parses the text output).
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr4.json
-	@echo "wrote BENCH_pr4.json"
+	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr5.json
+	@echo "wrote BENCH_pr5.json"
 
-# Regenerate every evaluation figure at paper fidelity (30 seeds).
+# Regenerate every evaluation figure at paper fidelity (30 seeds) as one
+# parallel, resumable campaign: results stream to out/figures-campaign, so a
+# killed run continues where it stopped and re-runs are free. Figures land
+# in out/figures/.
 figures:
-	$(GO) run ./cmd/figures -seeds 30 all
+	$(GO) run ./cmd/campaign run -dir out/figures-campaign -cache-dir out/cache \
+		-seeds 30 -quiet -o out/figures all
+
+# Tiny campaign for CI: a 2-seed grid through the full engine (store,
+# cache, resume machinery); the result store is uploaded as an artifact.
+campaign-smoke:
+	$(GO) run ./cmd/campaign run -dir out/campaign-smoke -cache-dir out/campaign-smoke-cache \
+		-seeds 2 -quiet -o out/campaign-smoke-figures fig11 fig12 energy
+	$(GO) run ./cmd/campaign status -dir out/campaign-smoke
 
 # The Section 4 closed-form curves.
 analysis:
@@ -63,4 +75,5 @@ fuzz:
 	$(GO) test ./internal/sim -fuzz FuzzSchedule -fuzztime 30s
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_pr3.json BENCH_pr4.json
+	rm -f test_output.txt bench_output.txt BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json
+	rm -rf out

@@ -9,15 +9,39 @@ package alert
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"alertmanet/internal/analysis"
+	"alertmanet/internal/campaign"
 	"alertmanet/internal/experiment"
 	"alertmanet/internal/telemetry"
 )
 
 // sink prevents dead-code elimination of benchmark results.
 var sink any
+
+// benchFig assigns a figure's series to the sink, failing on figure error.
+func benchFig(b *testing.B) func(s []analysis.Series, err error) {
+	return func(s []analysis.Series, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = s
+	}
+}
+
+// benchFig1 is benchFig for single-series figures.
+func benchFig1(b *testing.B) func(s analysis.Series, err error) {
+	return func(s analysis.Series, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = s
+	}
+}
 
 // ---- Analytical figures (Section 4) ----------------------------------------
 
@@ -60,14 +84,14 @@ func BenchmarkFig9bRemainingNodes(b *testing.B) {
 // participating nodes over 20 packets, ALERT vs GPSR at 100 and 200 nodes.
 func BenchmarkFig10aParticipatingNodes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig10a(20, 1)
+		benchFig(b)(experiment.Fig10a(experiment.DirectRunner{}, 20, 1))
 	}
 }
 
 // BenchmarkFig10bParticipantsVsN regenerates Fig. 10b.
 func BenchmarkFig10bParticipantsVsN(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig10b(20, 1)
+		benchFig(b)(experiment.Fig10b(experiment.DirectRunner{}, 20, 1))
 	}
 }
 
@@ -75,7 +99,7 @@ func BenchmarkFig10bParticipantsVsN(b *testing.B) {
 // forwarders versus partitions.
 func BenchmarkFig11RandomForwarders(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig11(7, 1)
+		benchFig1(b)(experiment.Fig11(experiment.DirectRunner{}, 7, 1))
 	}
 }
 
@@ -84,7 +108,7 @@ func BenchmarkFig11RandomForwarders(b *testing.B) {
 func BenchmarkFig12RemainingNodes(b *testing.B) {
 	times := []float64{0, 10, 20, 30, 40}
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig12(times, 2)
+		benchFig(b)(experiment.Fig12(experiment.DirectRunner{}, times, 2))
 	}
 }
 
@@ -92,7 +116,7 @@ func BenchmarkFig12RemainingNodes(b *testing.B) {
 func BenchmarkFig13aRemainingBySpeed(b *testing.B) {
 	times := []float64{0, 10, 20, 30}
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig13a(times, 2)
+		benchFig(b)(experiment.Fig13a(experiment.DirectRunner{}, times, 2))
 	}
 }
 
@@ -100,7 +124,7 @@ func BenchmarkFig13aRemainingBySpeed(b *testing.B) {
 // to keep 4 nodes in the zone after 10 s, versus speed.
 func BenchmarkFig13bRequiredDensity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig13b(4, []float64{2, 8}, 1)
+		benchFig1(b)(experiment.Fig13b(experiment.DirectRunner{}, 4, []float64{2, 8}, 1))
 	}
 }
 
@@ -108,14 +132,14 @@ func BenchmarkFig13bRequiredDensity(b *testing.B) {
 // for all four protocols.
 func BenchmarkFig14aLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig14a(1)
+		benchFig(b)(experiment.Fig14a(experiment.DirectRunner{}, 1))
 	}
 }
 
 // BenchmarkFig14bLatencyVsSpeed regenerates Fig. 14b.
 func BenchmarkFig14bLatencyVsSpeed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig14b(1)
+		benchFig(b)(experiment.Fig14b(experiment.DirectRunner{}, 1))
 	}
 }
 
@@ -123,14 +147,14 @@ func BenchmarkFig14bLatencyVsSpeed(b *testing.B) {
 // size, including ALARM's dissemination series.
 func BenchmarkFig15aHops(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig15a(1)
+		benchFig(b)(experiment.Fig15a(experiment.DirectRunner{}, 1))
 	}
 }
 
 // BenchmarkFig15bHopsVsSpeed regenerates Fig. 15b.
 func BenchmarkFig15bHopsVsSpeed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig15b(1)
+		benchFig(b)(experiment.Fig15b(experiment.DirectRunner{}, 1))
 	}
 }
 
@@ -138,7 +162,7 @@ func BenchmarkFig15bHopsVsSpeed(b *testing.B) {
 // network size.
 func BenchmarkFig16aDelivery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig16a(1)
+		benchFig(b)(experiment.Fig16a(experiment.DirectRunner{}, 1))
 	}
 }
 
@@ -146,7 +170,7 @@ func BenchmarkFig16aDelivery(b *testing.B) {
 // destination updates.
 func BenchmarkFig16bDeliveryVsSpeed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig16b(1)
+		benchFig(b)(experiment.Fig16b(experiment.DirectRunner{}, 1))
 	}
 }
 
@@ -154,7 +178,7 @@ func BenchmarkFig16bDeliveryVsSpeed(b *testing.B) {
 // random waypoint versus group mobility.
 func BenchmarkFig17MobilityModels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiment.Fig17(1)
+		benchFig(b)(experiment.Fig17(experiment.DirectRunner{}, 1))
 	}
 }
 
@@ -432,4 +456,30 @@ func BenchmarkEnergyPerDelivered(b *testing.B) {
 			b.ReportMetric(e/float64(b.N)*1e3, "mJ/pkt")
 		})
 	}
+}
+
+// BenchmarkCampaignThroughput measures the campaign engine's end-to-end
+// cell throughput at full parallelism — the cells/minute figure EXPERIMENTS.md
+// quotes for `make figures` — with no cache or store, so the number is pure
+// scheduling plus simulation. Each iteration uses a fresh engine (the memo
+// would otherwise make every iteration after the first free).
+func BenchmarkCampaignThroughput(b *testing.B) {
+	cells := make([]experiment.Scenario, 8)
+	for i := range cells {
+		sc := experiment.DefaultScenario()
+		sc.N = 100
+		sc.Duration = 20
+		sc.Seed = int64(i + 1)
+		cells[i] = sc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := &campaign.Engine{Jobs: runtime.NumCPU()}
+		res, err := eng.RunBatch(cells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = res
+	}
+	b.ReportMetric(float64(b.N*len(cells))/b.Elapsed().Minutes(), "cells/min")
 }

@@ -29,6 +29,10 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric columns keyed by unit — e.g.
+	// "cells/min" from BenchmarkCampaignThroughput or "hops/pkt" from the
+	// ablation benchmarks.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type document struct {
@@ -121,6 +125,12 @@ func parseResult(line string) (benchResult, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			// A custom b.ReportMetric column; keep it under its unit.
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[f[i+1]] = v
 		}
 	}
 	return r, seen

@@ -12,6 +12,7 @@ pkg: alertmanet
 BenchmarkFig7aPossibleParticipants-8   	       1	    123456 ns/op	    2048 B/op	      17 allocs/op
 BenchmarkFig16aDeliveryRate
 BenchmarkFig16aDeliveryRate-8          	       3	  98765432 ns/op
+BenchmarkCampaignThroughput-8          	       1	 512345678 ns/op	       937.5 cells/min	     128 B/op	       2 allocs/op
 PASS
 ok  	alertmanet	1.234s
 `
@@ -24,7 +25,7 @@ func TestParse(t *testing.T) {
 	if doc.Goos != "linux" || doc.Goarch != "amd64" {
 		t.Fatalf("platform = %q/%q", doc.Goos, doc.Goarch)
 	}
-	if len(doc.Benchmarks) != 2 {
+	if len(doc.Benchmarks) != 3 {
 		t.Fatalf("benchmarks = %d", len(doc.Benchmarks))
 	}
 	b := doc.Benchmarks[0]
@@ -33,9 +34,17 @@ func TestParse(t *testing.T) {
 		b.BytesPerOp != 2048 || b.AllocsPerOp != 17 {
 		t.Fatalf("first result = %+v", b)
 	}
+	if b.Extra != nil {
+		t.Fatalf("first result should have no extra metrics, got %v", b.Extra)
+	}
 	b = doc.Benchmarks[1]
 	if b.Name != "Fig16aDeliveryRate" || b.NsPerOp != 98765432 || b.BytesPerOp != 0 {
 		t.Fatalf("second result = %+v", b)
+	}
+	b = doc.Benchmarks[2]
+	if b.Name != "CampaignThroughput" || b.Extra["cells/min"] != 937.5 ||
+		b.BytesPerOp != 128 || b.AllocsPerOp != 2 {
+		t.Fatalf("throughput result = %+v (extra %v)", b, b.Extra)
 	}
 }
 

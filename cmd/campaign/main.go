@@ -1,0 +1,284 @@
+// Command campaign runs the paper's evaluation as one declarative sweep: it
+// expands the selected figures into their full cell grids, executes them
+// across a worker pool, and streams every result to an append-only store
+// keyed by cell content hash. Killing a run loses nothing — `resume` (or
+// simply re-running) re-executes only the missing cells — and a shared
+// -cache-dir makes cells free across campaign directories too.
+//
+//	campaign run -dir out/figures-campaign -seeds 5 all
+//	campaign resume -dir out/figures-campaign
+//	campaign status -dir out/figures-campaign
+//	campaign export -dir out/figures-campaign > results.jsonl
+//
+// Figure names are the registry's: fig10a ... fig17 and energy; `all`
+// (default) selects every one.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"alertmanet/internal/campaign"
+	"alertmanet/internal/experiment"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run", "resume":
+		// resume is run: the store already holds the finished prefix, so a
+		// re-run executes only what is missing.
+		err = cmdRun(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  campaign run    -dir <campaign-dir> [flags] [figures...]   execute (or continue) a campaign
+  campaign resume -dir <campaign-dir> [flags] [figures...]   alias of run
+  campaign status -dir <campaign-dir>                        print progress and provenance
+  campaign export -dir <campaign-dir> [-o file]              dump the result store as JSONL
+
+run flags:
+  -seeds N      independent runs per data point (default 5; paper: 30)
+  -jobs N       parallel simulation workers (0 = GOMAXPROCS)
+  -retries N    execution attempts per cell (default 2)
+  -max-events N per-cell event budget, 0 = unlimited (runaway guard)
+  -cache-dir D  content-addressed cell cache shared across campaigns
+  -o DIR        also render each figure to DIR/<name>.{txt,csv}
+  -format F     rendered figure format: text or csv
+  -quiet        suppress per-cell progress lines
+`)
+}
+
+// selectFigures resolves figure-name arguments against the registry.
+func selectFigures(args []string) ([]experiment.Figure, error) {
+	all := experiment.Figures()
+	if len(args) == 0 {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			return all, nil
+		}
+		if _, ok := experiment.FindFigure(a); !ok {
+			return nil, fmt.Errorf("unknown figure %q", a)
+		}
+		want[a] = true
+	}
+	var out []experiment.Figure
+	for _, f := range all {
+		if want[f.Name] {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory (result store + manifest)")
+	seeds := fs.Int("seeds", 5, "independent runs per data point (paper: 30)")
+	jobs := fs.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	retries := fs.Int("retries", 2, "execution attempts per cell")
+	maxEvents := fs.Uint64("max-events", 0, "per-cell event budget (0 = unlimited)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed cell cache shared across campaigns")
+	outDir := fs.String("o", "", "also render each figure to <dir>/<name>.{txt,csv}")
+	format := fs.String("format", "text", "rendered figure format: text or csv")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress lines")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("run needs -dir")
+	}
+	figures, err := selectFigures(fs.Args())
+	if err != nil {
+		return err
+	}
+
+	store, err := campaign.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	eng := &campaign.Engine{
+		Name:      "figures",
+		Jobs:      *jobs,
+		Retries:   *retries,
+		MaxEvents: *maxEvents,
+		Store:     store,
+	}
+	if *cacheDir != "" {
+		cache, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		eng.Cache = cache
+	}
+	if !*quiet {
+		eng.OnCell = func(ev campaign.CellEvent) {
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%d/%d] FAIL  %s: %v\n", ev.Done, ev.Total, ev.Label, ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-5s %s (%.2fs)\n", ev.Done, ev.Total, ev.Source, ev.Label, ev.Seconds)
+		}
+	}
+
+	// A killed run (SIGINT/SIGTERM) stops scheduling, finishes in-flight
+	// cells, stores the completed prefix, and exits nonzero; resume picks
+	// up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng.WithContext(ctx)
+
+	// Announce the planned size: the union of every selected figure's cell
+	// grid, deduplicated by content key (adaptive figures plan zero cells
+	// and add theirs at render time).
+	distinct := map[string]bool{}
+	for _, f := range figures {
+		plan := f.Plan(*seeds)
+		for _, sc := range plan.Runs {
+			if eng.MaxEvents != 0 && sc.MaxEvents == 0 {
+				sc.MaxEvents = eng.MaxEvents
+			}
+			distinct[sc.Hash()] = true
+		}
+		for _, spec := range plan.Remaining {
+			distinct[spec.Hash()] = true
+		}
+	}
+	eng.Expect(len(distinct))
+	fmt.Fprintf(os.Stderr, "campaign: %d planned cells across %d figures (%d already stored)\n",
+		len(distinct), len(figures), store.Len())
+
+	baseRender := experiment.RenderSeries
+	ext := ".txt"
+	if *format == "csv" {
+		baseRender = experiment.RenderCSV
+		ext = ".csv"
+	}
+	for _, f := range figures {
+		// Execute the figure's planned grid, then render through the same
+		// engine — the render's cell requests all memo-hit.
+		plan := f.Plan(*seeds)
+		if len(plan.Runs) > 0 {
+			if _, err := eng.RunBatch(plan.Runs); err != nil {
+				return fmt.Errorf("%s: %w", f.Name, err)
+			}
+		}
+		if len(plan.Remaining) > 0 {
+			if _, err := eng.RemainingBatch(plan.Remaining); err != nil {
+				return fmt.Errorf("%s: %w", f.Name, err)
+			}
+		}
+		series, err := f.Render(eng, *seeds)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, f.Name+ext)
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			baseRender(out, f.Title, series)
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		} else {
+			baseRender(os.Stdout, f.Title, series)
+			fmt.Println()
+		}
+	}
+	st := eng.Snapshot()
+	fmt.Fprintf(os.Stderr, "campaign: %d cells resolved — %d executed, %d store, %d cache, %d memo, %d failed\n",
+		st.Cells, st.Executed, st.StoreHits, st.CacheHits, st.MemoHits, st.Failed)
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("status needs -dir")
+	}
+	m, err := campaign.ReadManifest(*dir)
+	if err != nil {
+		return err
+	}
+	store, err := campaign.LoadStore(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign   %s\n", m.Name)
+	fmt.Printf("store      %s (%d records)\n", *dir, store.Len())
+	fmt.Printf("progress   %d/%d cells\n", m.Done, m.Cells)
+	fmt.Printf("sources    %d executed, %d store, %d cache, %d memo\n",
+		m.Executed, m.StoreHits, m.CacheHits, m.MemoHits)
+	fmt.Printf("hash       %s\n", m.CampaignHash)
+	fmt.Printf("toolchain  %s\n", m.GoVersion)
+	fmt.Printf("wall       %.1fs\n", m.WallSeconds)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("campaign export", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("export needs -dir")
+	}
+	store, err := campaign.LoadStore(*dir)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	for _, rec := range store.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

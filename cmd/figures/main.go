@@ -1,9 +1,11 @@
 // Command figures regenerates every simulation figure and table of the
-// paper's evaluation (Section 5) by running the corresponding experiments.
+// paper's evaluation (Section 5) by running the corresponding experiments
+// through the campaign engine, so repeated and cross-figure duplicate
+// cells execute once.
 //
 //	figures -seeds 5 all
 //	figures fig14a fig15a
-//	figures table1
+//	figures -cache-dir out/cache -jobs 8 all
 //
 // Figure names: fig10a fig10b fig11 fig12 fig13a fig13b fig14a fig14b
 // fig15a fig15b fig16a fig16b fig17 table1 anonymity energy compare. The paper averages 30
@@ -18,6 +20,7 @@ import (
 	"path/filepath"
 
 	"alertmanet/internal/analysis"
+	"alertmanet/internal/campaign"
 	"alertmanet/internal/experiment"
 )
 
@@ -25,7 +28,13 @@ func main() {
 	seeds := flag.Int("seeds", 5, "independent runs per data point (paper: 30)")
 	format := flag.String("format", "text", "output format: text or csv")
 	outDir := flag.String("o", "", "write each figure to <dir>/<name>.{txt,csv} instead of stdout")
+	jobs := flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache shared across runs (empty = no cache)")
 	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	baseRender := experiment.RenderSeries
 	ext := ".txt"
 	if *format == "csv" {
@@ -39,14 +48,12 @@ func main() {
 			return
 		}
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		path := filepath.Join(*outDir, current+ext)
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		baseRender(f, title, series)
 		f.Close()
@@ -71,94 +78,49 @@ func main() {
 		}
 	}
 
-	times := []float64{0, 5, 10, 15, 20, 30, 40, 50}
+	// Every figure executes through one campaign engine, so a cell shared
+	// by several figures (the Fig. 14b/15b/16b speed sweep) runs once.
+	eng := &campaign.Engine{Name: "figures", Jobs: *jobs}
+	if *cacheDir != "" {
+		cache, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		eng.Cache = cache
+	}
 
-	run("fig10a", func() {
-		render(os.Stdout,
-			"Fig. 10a: cumulative actual participating nodes vs packets",
-			experiment.Fig10a(20, *seeds))
-	})
-	run("fig10b", func() {
-		render(os.Stdout,
-			"Fig. 10b: participating nodes after 20 packets vs network size",
-			experiment.Fig10b(20, *seeds))
-	})
-	run("fig11", func() {
-		render(os.Stdout,
-			"Fig. 11: random forwarders vs partitions (simulated; cf. Fig. 7b)",
-			[]analysis.Series{experiment.Fig11(7, *seeds)})
-	})
-	run("fig12", func() {
-		render(os.Stdout,
-			"Fig. 12: remaining nodes in Z_D vs time by density (H=5, v=2)",
-			experiment.Fig12(times, *seeds))
-	})
-	run("fig13a", func() {
-		render(os.Stdout,
-			"Fig. 13a: remaining nodes vs time by H and speed (N=200)",
-			experiment.Fig13a(times, *seeds))
-	})
-	run("fig13b", func() {
-		render(os.Stdout,
-			"Fig. 13b: required density vs speed (4 nodes remaining at t=10s)",
-			[]analysis.Series{experiment.Fig13b(4, []float64{1, 2, 4, 6, 8}, *seeds)})
-	})
-	run("fig14a", func() {
-		render(os.Stdout,
-			"Fig. 14a: latency per packet (s) vs number of nodes",
-			experiment.Fig14a(*seeds))
-	})
-	run("fig14b", func() {
-		render(os.Stdout,
-			"Fig. 14b: latency per packet (s) vs node speed",
-			experiment.Fig14b(*seeds))
-	})
-	run("fig15a", func() {
-		render(os.Stdout,
-			"Fig. 15a: hops per packet vs number of nodes",
-			experiment.Fig15a(*seeds))
-	})
-	run("fig15b", func() {
-		render(os.Stdout,
-			"Fig. 15b: hops per packet vs node speed",
-			experiment.Fig15b(*seeds))
-	})
-	run("fig16a", func() {
-		render(os.Stdout,
-			"Fig. 16a: delivery rate vs number of nodes",
-			experiment.Fig16a(*seeds))
-	})
-	run("fig16b", func() {
-		render(os.Stdout,
-			"Fig. 16b: delivery rate vs node speed (with/without destination update)",
-			experiment.Fig16b(*seeds))
-	})
-	run("fig17", func() {
-		render(os.Stdout,
-			"Fig. 17: ALERT delay (s) under different movement models",
-			experiment.Fig17(*seeds))
-	})
-	run("energy", func() {
-		fmt.Println("== Energy per delivered packet (transmission + cryptography) ==")
-		for _, p := range []experiment.ProtocolName{
-			experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
-		} {
-			var e float64
-			for s := 1; s <= *seeds; s++ {
-				sc := experiment.DefaultScenario()
-				sc.Seed = int64(s)
-				sc.Protocol = p
-				sc.Duration = 40
-				e += experiment.MustRun(sc).EnergyPerDelivered
+	for _, f := range experiment.Figures() {
+		if f.Name == "energy" {
+			// Rendered as a table below, in its historical place.
+			continue
+		}
+		fig := f
+		run(fig.Name, func() {
+			series, err := fig.Render(eng, *seeds)
+			if err != nil {
+				fail(err)
 			}
-			fmt.Printf("  %-6s %8.2f mJ\n", p, e/float64(*seeds)*1e3)
+			render(os.Stdout, fig.Title, series)
+		})
+	}
+	run("energy", func() {
+		series, err := experiment.EnergySummary(eng, *seeds)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Energy per delivered packet (transmission + cryptography) ==")
+		for _, s := range series {
+			fmt.Printf("  %-6s %8.2f mJ\n", s.Label, s.Y[0]*1e3)
 		}
 	})
 	run("compare", func() {
 		fmt.Println("== Pairwise protocol comparisons (Welch's t-test, 95%) ==")
-		comps := experiment.CompareProtocols([]experiment.ProtocolName{
+		comps, err := experiment.CompareProtocols(eng, []experiment.ProtocolName{
 			experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
 		}, *seeds, 40)
+		if err != nil {
+			fail(err)
+		}
 		for _, c := range comps {
 			verdict := "not significant"
 			if c.Welch.Significant {

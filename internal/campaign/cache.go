@@ -1,0 +1,72 @@
+// The content-addressed result cache: one JSON file per cell keyed by its
+// content hash, shared across campaigns. Where the store is a campaign's
+// ordered transcript, the cache is a global memo — a figure re-run with a
+// different cell mix, or a fresh campaign directory, still skips every
+// cell any previous run has executed. Corrupt or missing entries are
+// simply misses; writes are atomic (tmp + rename) so a killed run can
+// never leave a poisoned entry.
+
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a content-addressed on-disk result cache.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: create cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// path shards entries by the first hash byte to keep directories small.
+func (c *Cache) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(c.dir, shard, key+".json")
+}
+
+// Get returns the cached record for a cell key, or nil on any miss —
+// including a corrupt or mismatched entry, which execution then repairs.
+func (c *Cache) Get(key string) *Record {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil || rec.Key != key {
+		return nil
+	}
+	return &rec
+}
+
+// Put stores a record under its cell key, atomically.
+func (c *Cache) Put(rec *Record) error {
+	path := c.path(rec.Key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("campaign: create cache shard: %w", err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: encode cache entry: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: write cache entry: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("campaign: commit cache entry: %w", err)
+	}
+	return nil
+}

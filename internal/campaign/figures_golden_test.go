@@ -1,0 +1,125 @@
+package campaign
+
+// The acceptance test for the campaign rewire: every figure rendered
+// through the full Engine — worker pool, JSONL store, content-addressed
+// cache — must reproduce the exact series digests captured from the
+// pre-campaign figure code (internal/experiment/testdata/figures_golden.json,
+// blessed there). A second engine then resolves everything from the cache
+// alone and must match again: the JSON wire format is value-exact.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"alertmanet/internal/analysis"
+	"alertmanet/internal/experiment"
+)
+
+const figuresGoldenPath = "../experiment/testdata/figures_golden.json"
+
+// figureDigest mirrors the experiment package's seriesDigest rendering.
+func figureDigest(series []analysis.Series) string {
+	h := sha256.New()
+	for _, s := range series {
+		fmt.Fprintf(h, "%s|%v|%v|%v\n", s.Label, s.X, s.Y, s.Err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// engineFigures computes every figure's digest at the golden corpus's
+// pinned capture parameters, through the given runner.
+func engineFigures(t *testing.T, r experiment.Runner) map[string]string {
+	t.Helper()
+	got := map[string]string{}
+	record := func(name string) func(s []analysis.Series, err error) {
+		return func(s []analysis.Series, err error) {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got[name] = figureDigest(s)
+		}
+	}
+	single := func(s analysis.Series, err error) ([]analysis.Series, error) {
+		return []analysis.Series{s}, err
+	}
+	times := []float64{0, 5, 10}
+
+	record("fig10a")(experiment.Fig10a(r, 5, 2))
+	record("fig10b")(experiment.Fig10b(r, 5, 2))
+	record("fig11")(single(experiment.Fig11(r, 3, 2)))
+	record("fig12")(experiment.Fig12(r, times, 2))
+	record("fig13a")(experiment.Fig13a(r, times, 2))
+	record("fig13b")(single(experiment.Fig13b(r, 4, []float64{2, 4}, 2)))
+	record("fig14a")(experiment.Fig14a(r, 2))
+	record("fig14b")(experiment.Fig14b(r, 2))
+	record("fig15a")(experiment.Fig15a(r, 2))
+	record("fig15b")(experiment.Fig15b(r, 2))
+	record("fig16a")(experiment.Fig16a(r, 2))
+	record("fig16b")(experiment.Fig16b(r, 2))
+	record("fig17")(experiment.Fig17(r, 2))
+	record("energy")(experiment.EnergySummary(r, 2))
+
+	comps, err := experiment.CompareProtocols(r,
+		[]experiment.ProtocolName{experiment.ALERT, experiment.GPSR}, 3, 20)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	h := sha256.New()
+	for _, c := range comps {
+		fmt.Fprintf(h, "%+v\n", c)
+	}
+	got["compare"] = hex.EncodeToString(h.Sum(nil))
+	return got
+}
+
+// TestEngineFigureGoldenSeries: the full engine reproduces the pre-campaign
+// figure output exactly, and a cache-only engine reproduces it again from
+// the serialized records.
+func TestEngineFigureGoldenSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite twice")
+	}
+	data, err := os.ReadFile(figuresGoldenPath)
+	if err != nil {
+		t.Fatalf("read figure golden corpus (bless it in internal/experiment with -update): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", figuresGoldenPath, err)
+	}
+
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	check := func(phase string, r experiment.Runner) {
+		got := engineFigures(t, r)
+		for name, w := range want {
+			if got[name] != w {
+				t.Errorf("%s/%s: digest %s, golden %s — engine changed figure output",
+					phase, name, got[name], w)
+			}
+		}
+	}
+	hot := &Engine{Store: store, Cache: cache}
+	check("engine", hot)
+	if st := hot.Snapshot(); st.Executed == 0 {
+		t.Fatal("engine pass should have executed cells")
+	}
+
+	cold := &Engine{Cache: cache}
+	check("cache", cold)
+	if st := cold.Snapshot(); st.Executed != 0 {
+		t.Fatalf("cache pass should execute nothing, got %+v", st)
+	}
+}

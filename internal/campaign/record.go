@@ -1,0 +1,134 @@
+// The store's wire format. Records must survive a JSON round trip
+// bit-for-bit — a resumed campaign reduces store-loaded results through the
+// same figure code as fresh ones and must produce identical series — so
+// floats rely on Go's shortest-representation marshaling (exact for every
+// finite float64) and the non-finite values plain encoding/json rejects
+// (EnergyPerDelivered is +Inf when a run delivers nothing) are encoded as
+// quoted strings.
+
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"alertmanet/internal/experiment"
+)
+
+// JFloat is a float64 whose JSON encoding admits non-finite values: finite
+// floats marshal as ordinary JSON numbers (shortest representation, exact
+// round trip), while Inf/NaN marshal as the quoted strings "+Inf", "-Inf",
+// "NaN" that strconv.ParseFloat accepts back.
+type JFloat float64
+
+// MarshalJSON encodes finite values as numbers, non-finite as strings.
+func (f JFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return json.Marshal(s)
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalJSON accepts both encodings.
+func (f *JFloat) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("campaign: non-finite float %q: %w", s, err)
+		}
+		*f = JFloat(v)
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = JFloat(v)
+	return nil
+}
+
+// resultJSON mirrors experiment.Result field-for-field (same Go field
+// names — a reflection test enforces parity) with JFloat standing in for
+// float64 so +Inf survives the store. Keeping the mirror explicit rather
+// than reflect-converting at runtime keeps the wire format reviewable.
+type resultJSON struct {
+	Sent               int     `json:"sent"`
+	Delivered          int     `json:"delivered"`
+	DeliveryRate       JFloat  `json:"deliveryRate"`
+	MeanLatency        JFloat  `json:"meanLatency"`
+	HopsPerPacket      JFloat  `json:"hopsPerPacket"`
+	MeanRFs            JFloat  `json:"meanRFs"`
+	Participants       int     `json:"participants"`
+	Cumulative         []int   `json:"cumulative,omitempty"`
+	RouteJaccard       JFloat  `json:"routeJaccard"`
+	EnergyJoules       JFloat  `json:"energyJoules"`
+	EnergyPerDelivered JFloat  `json:"energyPerDelivered"`
+	LatencyP50         JFloat  `json:"latencyP50"`
+	LatencyP95         JFloat  `json:"latencyP95"`
+	LatencyP99         JFloat  `json:"latencyP99"`
+	Jitter             JFloat  `json:"jitter"`
+	LoadGini           JFloat  `json:"loadGini"`
+}
+
+// encodeResult converts a simulation result to its wire form.
+func encodeResult(r experiment.Result) resultJSON {
+	return resultJSON{
+		Sent:               r.Sent,
+		Delivered:          r.Delivered,
+		DeliveryRate:       JFloat(r.DeliveryRate),
+		MeanLatency:        JFloat(r.MeanLatency),
+		HopsPerPacket:      JFloat(r.HopsPerPacket),
+		MeanRFs:            JFloat(r.MeanRFs),
+		Participants:       r.Participants,
+		Cumulative:         r.Cumulative,
+		RouteJaccard:       JFloat(r.RouteJaccard),
+		EnergyJoules:       JFloat(r.EnergyJoules),
+		EnergyPerDelivered: JFloat(r.EnergyPerDelivered),
+		LatencyP50:         JFloat(r.LatencyP50),
+		LatencyP95:         JFloat(r.LatencyP95),
+		LatencyP99:         JFloat(r.LatencyP99),
+		Jitter:             JFloat(r.Jitter),
+		LoadGini:           JFloat(r.LoadGini),
+	}
+}
+
+// decode converts the wire form back to the simulation result.
+func (r resultJSON) decode() experiment.Result {
+	return experiment.Result{
+		Sent:               r.Sent,
+		Delivered:          r.Delivered,
+		DeliveryRate:       float64(r.DeliveryRate),
+		MeanLatency:        float64(r.MeanLatency),
+		HopsPerPacket:      float64(r.HopsPerPacket),
+		MeanRFs:            float64(r.MeanRFs),
+		Participants:       r.Participants,
+		Cumulative:         r.Cumulative,
+		RouteJaccard:       float64(r.RouteJaccard),
+		EnergyJoules:       float64(r.EnergyJoules),
+		EnergyPerDelivered: float64(r.EnergyPerDelivered),
+		LatencyP50:         float64(r.LatencyP50),
+		LatencyP95:         float64(r.LatencyP95),
+		LatencyP99:         float64(r.LatencyP99),
+		Jitter:             float64(r.Jitter),
+		LoadGini:           float64(r.LoadGini),
+	}
+}
+
+// Record is one store line: a cell's identity and its outcome. Exactly one
+// of Result/Remaining is set, matching Kind.
+type Record struct {
+	Key       string                      `json:"key"`
+	Kind      Kind                        `json:"kind"`
+	Seed      int64                       `json:"seed"`
+	Protocol  string                      `json:"protocol,omitempty"`
+	Result    *resultJSON                 `json:"result,omitempty"`
+	Remaining *experiment.RemainingResult `json:"remaining,omitempty"`
+}

@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+
+	"alertmanet/internal/experiment"
+)
+
+// TestJFloatRoundTrip: every float64 the simulator can produce — including
+// the +Inf of EnergyPerDelivered on zero deliveries — survives the JSON
+// encoding exactly.
+func TestJFloatRoundTrip(t *testing.T) {
+	values := []float64{
+		0, 1, -1, 0.1, 1.0 / 3.0, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1), math.Pi, 87.3255554666001,
+	}
+	for _, v := range values {
+		data, err := json.Marshal(JFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back JFloat
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if float64(back) != v {
+			t.Fatalf("%v round-tripped to %v via %s", v, float64(back), data)
+		}
+	}
+	// NaN compares unequal to itself; check via IsNaN.
+	data, err := json.Marshal(JFloat(math.NaN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JFloat
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(back)) {
+		t.Fatalf("NaN round-tripped to %v via %s", float64(back), data)
+	}
+}
+
+// TestResultJSONFieldParity: resultJSON must mirror experiment.Result
+// field-for-field (same names, same order), so a new metric added to Result
+// fails this test until the wire format carries it too.
+func TestResultJSONFieldParity(t *testing.T) {
+	rt := reflect.TypeOf(experiment.Result{})
+	jt := reflect.TypeOf(resultJSON{})
+	if rt.NumField() != jt.NumField() {
+		t.Fatalf("experiment.Result has %d fields, resultJSON has %d — extend the wire format",
+			rt.NumField(), jt.NumField())
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		rf, jf := rt.Field(i), jt.Field(i)
+		if rf.Name != jf.Name {
+			t.Errorf("field %d: Result.%s vs resultJSON.%s", i, rf.Name, jf.Name)
+			continue
+		}
+		want := rf.Type
+		if want.Kind() == reflect.Float64 {
+			want = reflect.TypeOf(JFloat(0))
+		}
+		if jf.Type != want {
+			t.Errorf("field %s: Result type %v should map to %v, resultJSON has %v",
+				rf.Name, rf.Type, want, jf.Type)
+		}
+	}
+}
+
+// TestRecordRoundTrip: a full record — +Inf energy included — survives the
+// store's line encoding bit-for-bit.
+func TestRecordRoundTrip(t *testing.T) {
+	res := experiment.Result{
+		Sent: 20, Delivered: 0,
+		DeliveryRate: 0, MeanLatency: 0.123456789012345,
+		HopsPerPacket: 3.5, MeanRFs: 1.25, Participants: 17,
+		Cumulative: []int{3, 7, 12}, RouteJaccard: 0.4,
+		EnergyJoules: 1.7, EnergyPerDelivered: math.Inf(1),
+		LatencyP50: 0.1, LatencyP95: 0.2, LatencyP99: 0.3,
+		Jitter: 0.01, LoadGini: 0.33,
+	}
+	rj := encodeResult(res)
+	rec := Record{Key: "abc", Kind: KindRun, Seed: 7, Protocol: "alert", Result: &rj}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Result == nil {
+		t.Fatal("result lost in round trip")
+	}
+	if got := back.Result.decode(); !reflect.DeepEqual(got, res) {
+		t.Fatalf("result changed in round trip:\n%+v\nvs\n%+v", got, res)
+	}
+	// Encoding is deterministic: same record, same bytes.
+	line2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(line) != string(line2) {
+		t.Fatalf("re-encoding changed bytes:\n%s\nvs\n%s", line, line2)
+	}
+}
+
+// TestCacheCorruptEntryIsMiss: a poisoned cache file is a miss, not an
+// error — execution repairs it.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{Key: "deadbeef", Kind: KindRemaining, Seed: 1,
+		Remaining: &experiment.RemainingResult{Sums: []float64{1}, Count: 1}}
+	if err := cache.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Get("deadbeef"); got == nil || got.Seed != 1 {
+		t.Fatalf("cache should return the stored record, got %+v", got)
+	}
+	if got := cache.Get("feedface"); got != nil {
+		t.Fatalf("missing key should miss, got %+v", got)
+	}
+	// Poison the entry: wrong key inside the file.
+	bad := &Record{Key: "other", Kind: KindRemaining, Seed: 9}
+	data, err := json.Marshal(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.path("deadbeef"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Get("deadbeef"); got != nil {
+		t.Fatalf("mismatched entry should miss, got %+v", got)
+	}
+}

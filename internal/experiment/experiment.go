@@ -697,16 +697,6 @@ func RunParallelProgress(sc Scenario, seeds int, progress func(seed int, r Resul
 	return results, nil
 }
 
-// mustRunParallel backs the figure generators, whose scenarios are built
-// from known-good presets.
-func mustRunParallel(sc Scenario, seeds int) []Result {
-	results, err := RunParallel(sc, seeds)
-	if err != nil {
-		panic(err)
-	}
-	return results
-}
-
 // RunSeeds runs the scenario under `seeds` different seeds (the paper uses
 // 30) and aggregates with 95% confidence intervals.
 func RunSeeds(sc Scenario, seeds int) (Aggregate, error) {

@@ -101,7 +101,10 @@ func TestRouteAnonymity(t *testing.T) {
 // TestFig10aShape: ALERT accumulates many more actual participating nodes
 // than GPSR, and more nodes at 200 than at 100 (Fig. 10a's reading).
 func TestFig10aShape(t *testing.T) {
-	series := Fig10a(20, 2)
+	series, err := Fig10a(DirectRunner{}, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byLabel := map[string][]float64{}
 	for _, s := range series {
 		byLabel[s.Label] = s.Y
@@ -141,7 +144,10 @@ func TestFig10aShape(t *testing.T) {
 // TestFig11Shape: simulated RFs grow with H (Fig. 11, matching Fig. 7b's
 // linear analysis).
 func TestFig11Shape(t *testing.T) {
-	s := Fig11(6, 1)
+	s, err := Fig11(DirectRunner{}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Y) != 6 {
 		t.Fatalf("series length %d", len(s.Y))
 	}
@@ -154,7 +160,10 @@ func TestFig11Shape(t *testing.T) {
 // (Fig. 12).
 func TestFig12Shape(t *testing.T) {
 	times := []float64{0, 10, 20, 40}
-	series := Fig12(times, 2)
+	series, err := Fig12(DirectRunner{}, times, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != 3 {
 		t.Fatal("want 3 density series")
 	}
@@ -173,7 +182,10 @@ func TestFig12Shape(t *testing.T) {
 // more than H=5 (Fig. 13a).
 func TestFig13aShape(t *testing.T) {
 	times := []float64{0, 10, 20}
-	series := Fig13a(times, 2)
+	series, err := Fig13a(DirectRunner{}, times, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != 6 {
 		t.Fatalf("want 6 series, got %d", len(series))
 	}
@@ -204,7 +216,10 @@ func TestFig13aShape(t *testing.T) {
 
 // TestFig13bShape: required density grows with speed (Fig. 13b).
 func TestFig13bShape(t *testing.T) {
-	s := Fig13b(4, []float64{2, 8}, 1)
+	s, err := Fig13b(DirectRunner{}, 4, []float64{2, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Y) != 2 {
 		t.Fatal("series length wrong")
 	}
@@ -246,7 +261,10 @@ func TestFig16bShape(t *testing.T) {
 // TestFig17Shape: group mobility increases ALERT's delay, and 5 groups
 // (less randomized) increase it more than 10 groups (Fig. 17).
 func TestFig17Shape(t *testing.T) {
-	series := Fig17(3)
+	series, err := Fig17(DirectRunner{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != 3 {
 		t.Fatal("want 3 series")
 	}
@@ -533,7 +551,10 @@ func TestRunSeedsParallelMatchesSerial(t *testing.T) {
 }
 
 func TestCompareProtocols(t *testing.T) {
-	comps := CompareProtocols([]ProtocolName{ALERT, GPSR}, 3, 20)
+	comps, err := CompareProtocols(DirectRunner{}, []ProtocolName{ALERT, GPSR}, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(comps) != 5 { // five metrics, one pair each
 		t.Fatalf("comparisons = %d", len(comps))
 	}

@@ -1,7 +1,10 @@
 // Figure generators: one function per evaluation figure (Figs. 10-17) plus
-// the remaining-node mobility experiments. Each returns labeled series in
-// the same shape the paper plots, so cmd/figures can print them and
-// EXPERIMENTS.md can compare paper-vs-measured.
+// the remaining-node mobility experiments. Each figure enumerates every
+// (Scenario, seed) cell it needs, executes the whole batch through a Runner
+// (DirectRunner in-process, or internal/campaign's caching, resumable
+// Engine), and reduces the results into labeled series in the same shape
+// the paper plots. The Figures registry exposes the plan/render split so
+// cmd/campaign can run the union of every figure's cells as one campaign.
 
 package experiment
 
@@ -9,190 +12,259 @@ import (
 	"fmt"
 
 	"alertmanet/internal/analysis"
-	"alertmanet/internal/geo"
-	"alertmanet/internal/mobility"
-	"alertmanet/internal/rng"
 	"alertmanet/internal/stats"
 )
 
 // protosAll is the comparison set of Section 5.
 var protosAll = []ProtocolName{ALERT, GPSR, ALARM, AO2P}
 
+// participantScenario is the Fig. 10 cell: one S-D pair bursting `packets`
+// packets at a low interval so path churn stays small.
+func participantScenario(p ProtocolName, n, packets int, seed int64) Scenario {
+	sc := DefaultScenario()
+	sc.Seed = seed
+	sc.Protocol = p
+	sc.N = n
+	sc.Pairs = 1
+	sc.Packets = packets
+	sc.Interval = 0.5 // keep path churn low over the burst
+	sc.Duration = float64(packets)*sc.Interval + 5
+	return sc
+}
+
+// shortRun reports a cell that recorded fewer packets than the figure
+// averages over. The pre-campaign loops papered over these with a
+// counts[i] > 0 guard, silently skewing the mean toward the long runs; a
+// campaign treats the cell as broken and says which one.
+func shortRun(sc Scenario, r Result, packets int) error {
+	if len(r.Cumulative) >= packets {
+		return nil
+	}
+	return fmt.Errorf("experiment: short-run cell %s seed %d (scenario %.12s): recorded %d packets, figure needs %d — raise Duration or lower the packet count",
+		sc.Protocol, sc.Seed, sc.Hash(), len(r.Cumulative), packets)
+}
+
+func fig10aCells(packets, seeds int) []Scenario {
+	var cells []Scenario
+	for _, n := range []int{100, 200} {
+		for _, p := range []ProtocolName{ALERT, GPSR} {
+			for seed := 1; seed <= seeds; seed++ {
+				cells = append(cells, participantScenario(p, n, packets, int64(seed)))
+			}
+		}
+	}
+	return cells
+}
+
 // Fig10a reproduces Fig. 10a: cumulative actual participating nodes versus
 // packets transmitted, for ALERT and GPSR at 100 and 200 nodes (ALARM and
 // AO2P follow GPSR's shortest-path behaviour, as the paper notes). One S-D
 // pair sends `packets` packets; curves are averaged over seeds.
-func Fig10a(packets, seeds int) []analysis.Series {
+func Fig10a(r Runner, packets, seeds int) ([]analysis.Series, error) {
+	cells := fig10aCells(packets, seeds)
+	results, err := r.RunBatch(cells)
+	if err != nil {
+		return nil, err
+	}
 	var out []analysis.Series
+	idx := 0
 	for _, n := range []int{100, 200} {
 		for _, p := range []ProtocolName{ALERT, GPSR} {
 			sums := make([]float64, packets)
-			counts := make([]int, packets)
 			for seed := 1; seed <= seeds; seed++ {
-				sc := DefaultScenario()
-				sc.Seed = int64(seed)
-				sc.Protocol = p
-				sc.N = n
-				sc.Pairs = 1
-				sc.Packets = packets
-				sc.Interval = 0.5 // keep path churn low over the burst
-				sc.Duration = float64(packets)*sc.Interval + 5
-				r := MustRun(sc)
-				for i := 0; i < packets && i < len(r.Cumulative); i++ {
-					sums[i] += float64(r.Cumulative[i])
-					counts[i]++
+				res := results[idx]
+				if err := shortRun(cells[idx], res, packets); err != nil {
+					return nil, fmt.Errorf("fig10a: %w", err)
+				}
+				idx++
+				for i := 0; i < packets; i++ {
+					sums[i] += float64(res.Cumulative[i])
 				}
 			}
 			s := analysis.Series{Label: fmt.Sprintf("%s N=%d", p, n)}
 			for i := 0; i < packets; i++ {
 				s.X = append(s.X, float64(i+1))
-				if counts[i] > 0 {
-					s.Y = append(s.Y, sums[i]/float64(counts[i]))
-				} else {
-					s.Y = append(s.Y, 0)
-				}
+				s.Y = append(s.Y, sums[i]/float64(seeds))
 			}
 			out = append(out, s)
 		}
 	}
-	return out
+	return out, nil
+}
+
+func fig10bCells(packets, seeds int) []Scenario {
+	var cells []Scenario
+	for _, p := range []ProtocolName{ALERT, GPSR} {
+		for _, n := range []int{50, 100, 150, 200} {
+			for seed := 1; seed <= seeds; seed++ {
+				cells = append(cells, participantScenario(p, n, packets, int64(seed)))
+			}
+		}
+	}
+	return cells
 }
 
 // Fig10b reproduces Fig. 10b: actual participating nodes after `packets`
 // packets, versus the total number of nodes, ALERT versus GPSR.
-func Fig10b(packets, seeds int) []analysis.Series {
-	ns := []int{50, 100, 150, 200}
+func Fig10b(r Runner, packets, seeds int) ([]analysis.Series, error) {
+	cells := fig10bCells(packets, seeds)
+	results, err := r.RunBatch(cells)
+	if err != nil {
+		return nil, err
+	}
 	var out []analysis.Series
+	idx := 0
 	for _, p := range []ProtocolName{ALERT, GPSR} {
 		s := analysis.Series{Label: string(p)}
-		for _, n := range ns {
+		for _, n := range []int{50, 100, 150, 200} {
 			var sample stats.Sample
 			for seed := 1; seed <= seeds; seed++ {
-				sc := DefaultScenario()
-				sc.Seed = int64(seed)
-				sc.Protocol = p
-				sc.N = n
-				sc.Pairs = 1
-				sc.Packets = packets
-				sc.Interval = 0.5
-				sc.Duration = float64(packets)*sc.Interval + 5
-				sample.Add(float64(MustRun(sc).Participants))
+				res := results[idx]
+				if err := shortRun(cells[idx], res, packets); err != nil {
+					return nil, fmt.Errorf("fig10b: %w", err)
+				}
+				idx++
+				sample.Add(float64(res.Participants))
 			}
 			s.X = append(s.X, float64(n))
 			s.Y = append(s.Y, sample.Mean())
 		}
 		out = append(out, s)
 	}
-	return out
+	return out, nil
 }
 
-// Fig11 reproduces Fig. 11: the simulated number of random forwarders
-// versus the number of partitions H (to compare with the analytical
-// Fig. 7b line).
-func Fig11(hMax, seeds int) analysis.Series {
-	s := analysis.Series{Label: "ALERT mean RFs"}
+func fig11Cells(hMax, seeds int) []Scenario {
+	var cells []Scenario
 	for h := 1; h <= hMax; h++ {
-		var sample stats.Sample
 		for seed := 1; seed <= seeds; seed++ {
 			sc := DefaultScenario()
 			sc.Seed = int64(seed)
 			sc.Protocol = ALERT
 			sc.Alert.H = h
 			sc.Duration = 40
-			sample.Add(MustRun(sc).MeanRFs)
+			cells = append(cells, sc)
+		}
+	}
+	return cells
+}
+
+// Fig11 reproduces Fig. 11: the simulated number of random forwarders
+// versus the number of partitions H (to compare with the analytical
+// Fig. 7b line).
+func Fig11(r Runner, hMax, seeds int) (analysis.Series, error) {
+	results, err := r.RunBatch(fig11Cells(hMax, seeds))
+	if err != nil {
+		return analysis.Series{}, err
+	}
+	s := analysis.Series{Label: "ALERT mean RFs"}
+	idx := 0
+	for h := 1; h <= hMax; h++ {
+		var sample stats.Sample
+		for seed := 1; seed <= seeds; seed++ {
+			sample.Add(results[idx].MeanRFs)
+			idx++
 		}
 		s.X = append(s.X, float64(h))
 		s.Y = append(s.Y, sample.Mean())
 	}
-	return s
+	return s, nil
+}
+
+// remainingCells enumerates the per-seed mobility-only cells behind
+// RemainingNodesSim; field and group parameters come from the paper
+// defaults, as before the campaign rewire.
+func remainingCells(n, h int, speed float64, mob MobilityName,
+	times []float64, dests, seeds int) []RemainingSpec {
+	sc := DefaultScenario()
+	cells := make([]RemainingSpec, 0, seeds)
+	for seed := 1; seed <= seeds; seed++ {
+		cells = append(cells, RemainingSpec{
+			Seed: int64(seed), N: n, H: h, Speed: speed, Mobility: mob,
+			Field: sc.Field, Groups: sc.Groups, GroupRange: sc.GroupRange,
+			Times: times, Dests: dests,
+		})
+	}
+	return cells
 }
 
 // RemainingNodesSim measures, by pure mobility simulation, how many of the
 // nodes initially inside a destination zone are still inside after each
 // sample time — the simulated counterpart of Equation (15). Zones are
-// centered on `dests` random node positions per seed.
-func RemainingNodesSim(n, h int, speed float64, mob MobilityName,
-	times []float64, dests, seeds int) []float64 {
-	sc := DefaultScenario()
+// centered on `dests` random node positions per seed. Per-seed sums and
+// zone counts are exact integer-valued quantities, so pooling them across
+// seeds reproduces the pre-campaign single-loop average bit-for-bit.
+func RemainingNodesSim(r Runner, n, h int, speed float64, mob MobilityName,
+	times []float64, dests, seeds int) ([]float64, error) {
+	rrs, err := r.RemainingBatch(remainingCells(n, h, speed, mob, times, dests, seeds))
+	if err != nil {
+		return nil, err
+	}
 	sums := make([]float64, len(times))
 	count := 0
-	for seed := 1; seed <= seeds; seed++ {
-		src := rng.New(int64(seed))
-		var m mobility.Model
-		switch mob {
-		case GroupMobility:
-			m = mobility.NewGroupMobility(sc.Field, n, sc.Groups, sc.GroupRange,
-				mobility.Fixed(speed), src)
-		default:
-			m = mobility.NewRandomWaypoint(sc.Field, n, mobility.Fixed(speed), src)
-		}
-		pick := src.Split("dests")
-		for di := 0; di < dests; di++ {
-			d := pick.Intn(n)
-			zone := geo.DestZone(sc.Field, m.Position(d, 0), h, geo.Vertical)
-			initial := mobility.NodesIn(m, zone, 0)
-			if len(initial) == 0 {
-				continue
-			}
-			count++
-			for ti, t := range times {
-				remain := 0
-				for _, id := range initial {
-					if zone.Contains(m.Position(id, t)) {
-						remain++
-					}
-				}
-				sums[ti] += float64(remain)
-			}
+	for _, rr := range rrs {
+		count += rr.Count
+		for i, v := range rr.Sums {
+			sums[i] += v
 		}
 	}
 	out := make([]float64, len(times))
 	if count == 0 {
-		return out
+		return out, nil
 	}
 	for i := range sums {
 		out[i] = sums[i] / float64(count)
 	}
-	return out
+	return out, nil
 }
 
 // Fig12 reproduces Fig. 12: remaining nodes in the destination zone over
 // time for densities 100, 150 and 200 nodes (H = 5, v = 2 m/s).
-func Fig12(times []float64, seeds int) []analysis.Series {
+func Fig12(r Runner, times []float64, seeds int) ([]analysis.Series, error) {
 	var out []analysis.Series
 	for _, n := range []int{100, 150, 200} {
-		ys := RemainingNodesSim(n, 5, 2, RandomWaypoint, times, 5, seeds)
-		s := analysis.Series{Label: fmt.Sprintf("N=%d", n), X: times, Y: ys}
-		out = append(out, s)
+		ys, err := RemainingNodesSim(r, n, 5, 2, RandomWaypoint, times, 5, seeds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, analysis.Series{Label: fmt.Sprintf("N=%d", n), X: times, Y: ys})
 	}
-	return out
+	return out, nil
 }
 
 // Fig13a reproduces Fig. 13a: remaining nodes over time for H in {4, 5}
 // and node speeds 0, 2 and 4 m/s (N = 200).
-func Fig13a(times []float64, seeds int) []analysis.Series {
+func Fig13a(r Runner, times []float64, seeds int) ([]analysis.Series, error) {
 	var out []analysis.Series
 	for _, h := range []int{4, 5} {
 		for _, v := range []float64{0, 2, 4} {
-			ys := RemainingNodesSim(200, h, v, RandomWaypoint, times, 5, seeds)
+			ys, err := RemainingNodesSim(r, 200, h, v, RandomWaypoint, times, 5, seeds)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, analysis.Series{
 				Label: fmt.Sprintf("H=%d v=%.0f", h, v), X: times, Y: ys,
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig13b reproduces Fig. 13b: the node density required to keep `target`
 // nodes in the destination zone after 10 s, versus node speed. Found by
-// scanning density upward in steps of 25 nodes.
-func Fig13b(target float64, speeds []float64, seeds int) analysis.Series {
+// scanning density upward in steps of 25 nodes; the scan adapts to the
+// results, so its cells cannot be enumerated up front (a campaign caches
+// each probed density instead).
+func Fig13b(r Runner, target float64, speeds []float64, seeds int) (analysis.Series, error) {
 	s := analysis.Series{Label: fmt.Sprintf("density for %.0f remaining @10s", target)}
 	times := []float64{10}
 	for _, v := range speeds {
 		required := 0.0
 		for n := 25; n <= 800; n += 25 {
-			ys := RemainingNodesSim(n, 5, v, RandomWaypoint, times, 5, seeds)
+			ys, err := RemainingNodesSim(r, n, 5, v, RandomWaypoint, times, 5, seeds)
+			if err != nil {
+				return analysis.Series{}, err
+			}
 			if ys[0] >= target {
 				required = float64(n)
 				break
@@ -201,23 +273,44 @@ func Fig13b(target float64, speeds []float64, seeds int) analysis.Series {
 		s.X = append(s.X, v)
 		s.Y = append(s.Y, required)
 	}
-	return s
+	return s, nil
+}
+
+// sweepCells enumerates the four-protocol sweep grid: protocol (outer),
+// x value, then seed, matching the reduction order of sweepMetric.
+func sweepCells(xs []float64, seeds int, configure func(*Scenario, float64)) []Scenario {
+	var cells []Scenario
+	for _, p := range protosAll {
+		for _, x := range xs {
+			for seed := 1; seed <= seeds; seed++ {
+				sc := DefaultScenario()
+				sc.Protocol = p
+				configure(&sc, x)
+				sc.Seed = int64(seed)
+				cells = append(cells, sc)
+			}
+		}
+	}
+	return cells
 }
 
 // sweepMetric runs all four protocols across a scenario sweep and extracts
 // one metric per run.
-func sweepMetric(xs []float64, seeds int, configure func(*Scenario, float64),
-	metric func(Result) float64) []analysis.Series {
+func sweepMetric(r Runner, xs []float64, seeds int, configure func(*Scenario, float64),
+	metric func(Result) float64) ([]analysis.Series, error) {
+	results, err := r.RunBatch(sweepCells(xs, seeds, configure))
+	if err != nil {
+		return nil, err
+	}
 	var out []analysis.Series
+	idx := 0
 	for _, p := range protosAll {
 		s := analysis.Series{Label: string(p)}
 		for _, x := range xs {
-			sc := DefaultScenario()
-			sc.Protocol = p
-			configure(&sc, x)
 			var sample stats.Sample
-			for _, r := range mustRunParallel(sc, seeds) {
-				sample.Add(metric(r))
+			for seed := 1; seed <= seeds; seed++ {
+				sample.Add(metric(results[idx]))
+				idx++
 			}
 			s.X = append(s.X, x)
 			s.Y = append(s.Y, sample.Mean())
@@ -225,35 +318,60 @@ func sweepMetric(xs []float64, seeds int, configure func(*Scenario, float64),
 		}
 		out = append(out, s)
 	}
-	return out
+	return out, nil
 }
 
 // Fig14a reproduces Fig. 14a: latency per packet versus the number of
 // nodes, for all four protocols.
-func Fig14a(seeds int) []analysis.Series {
-	return sweepMetric([]float64{50, 100, 150, 200}, seeds,
+func Fig14a(r Runner, seeds int) ([]analysis.Series, error) {
+	return sweepMetric(r, []float64{50, 100, 150, 200}, seeds,
 		func(sc *Scenario, x float64) { sc.N = int(x); sc.Duration = 40 },
-		func(r Result) float64 { return r.MeanLatency })
+		func(res Result) float64 { return res.MeanLatency })
 }
 
-// Fig14b reproduces Fig. 14b: latency per packet versus node speed, for
-// ALERT and GPSR both with and without destination update (ALARM and AO2P
-// ride the same update setting as "with").
-func Fig14b(seeds int) []analysis.Series {
-	var out []analysis.Series
+// speedUpdCell is the Figs. 14b/15b/16b cell: one protocol at one speed,
+// with or without destination updates, at a 40 s horizon. The three figures
+// share the exact same grid, so a campaign runs it once.
+func speedUpdCell(p ProtocolName, v float64, upd bool, seed int64) Scenario {
+	sc := DefaultScenario()
+	sc.Protocol = p
+	sc.Speed = v
+	sc.LocUpdates = upd
+	sc.Duration = 40
+	sc.Seed = seed
+	return sc
+}
+
+var sweepSpeeds = []float64{2, 4, 6, 8}
+
+// updSweepCells is the ALERT/GPSR × {upd, no-upd} × speed × seed grid.
+func updSweepCells(seeds int) []Scenario {
+	var cells []Scenario
 	for _, p := range []ProtocolName{ALERT, GPSR} {
 		for _, upd := range []bool{true, false} {
-			label := fmt.Sprintf("%s upd=%v", p, upd)
-			s := analysis.Series{Label: label}
-			for _, v := range []float64{2, 4, 6, 8} {
-				sc := DefaultScenario()
-				sc.Protocol = p
-				sc.Speed = v
-				sc.LocUpdates = upd
-				sc.Duration = 40
+			for _, v := range sweepSpeeds {
+				for seed := 1; seed <= seeds; seed++ {
+					cells = append(cells, speedUpdCell(p, v, upd, int64(seed)))
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// updSweepReduce walks an updSweepCells result batch in enumeration order,
+// extracting one metric into per-(protocol, upd) series.
+func updSweepReduce(results []Result, seeds int, metric func(Result) float64) []analysis.Series {
+	var out []analysis.Series
+	idx := 0
+	for _, p := range []ProtocolName{ALERT, GPSR} {
+		for _, upd := range []bool{true, false} {
+			s := analysis.Series{Label: fmt.Sprintf("%s upd=%v", p, upd)}
+			for _, v := range sweepSpeeds {
 				var sample stats.Sample
-				for _, r := range mustRunParallel(sc, seeds) {
-					sample.Add(r.MeanLatency)
+				for seed := 1; seed <= seeds; seed++ {
+					sample.Add(metric(results[idx]))
+					idx++
 				}
 				s.X = append(s.X, v)
 				s.Y = append(s.Y, sample.Mean())
@@ -262,16 +380,42 @@ func Fig14b(seeds int) []analysis.Series {
 			out = append(out, s)
 		}
 	}
+	return out
+}
+
+func fig14bTailCells(seeds int) []Scenario {
+	var cells []Scenario
+	for _, p := range []ProtocolName{ALARM, AO2P} {
+		for _, v := range sweepSpeeds {
+			for seed := 1; seed <= seeds; seed++ {
+				cells = append(cells, speedUpdCell(p, v, true, int64(seed)))
+			}
+		}
+	}
+	return cells
+}
+
+// Fig14b reproduces Fig. 14b: latency per packet versus node speed, for
+// ALERT and GPSR both with and without destination update (ALARM and AO2P
+// ride the same update setting as "with").
+func Fig14b(r Runner, seeds int) ([]analysis.Series, error) {
+	head, err := r.RunBatch(updSweepCells(seeds))
+	if err != nil {
+		return nil, err
+	}
+	out := updSweepReduce(head, seeds, func(res Result) float64 { return res.MeanLatency })
+	tail, err := r.RunBatch(fig14bTailCells(seeds))
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
 	for _, p := range []ProtocolName{ALARM, AO2P} {
 		s := analysis.Series{Label: string(p)}
-		for _, v := range []float64{2, 4, 6, 8} {
-			sc := DefaultScenario()
-			sc.Protocol = p
-			sc.Speed = v
-			sc.Duration = 40
+		for _, v := range sweepSpeeds {
 			var sample stats.Sample
-			for _, r := range mustRunParallel(sc, seeds) {
-				sample.Add(r.MeanLatency)
+			for seed := 1; seed <= seeds; seed++ {
+				sample.Add(tail[idx].MeanLatency)
+				idx++
 			}
 			s.X = append(s.X, v)
 			s.Y = append(s.Y, sample.Mean())
@@ -279,31 +423,50 @@ func Fig14b(seeds int) []analysis.Series {
 		}
 		out = append(out, s)
 	}
-	return out
+	return out, nil
 }
 
-// Fig15a reproduces Fig. 15a: hops per packet versus number of nodes for
-// the four protocols, plus the "ALARM (include id dissemination hops)"
-// series.
-func Fig15a(seeds int) []analysis.Series {
-	ns := []float64{50, 100, 150, 200}
-	out := sweepMetric(ns, seeds,
-		func(sc *Scenario, x float64) { sc.N = int(x) },
-		func(r Result) float64 {
-			return r.HopsPerPacket // includes ExtraHops for ALARM
-		})
-	// Add a routing-only ALARM series for contrast (dissemination is
-	// what HopsPerPacket already includes; subtract it back out).
-	s := analysis.Series{Label: "alarm (routing only)"}
-	for _, n := range ns {
-		var sample stats.Sample
+func fig15aExtraCells(seeds int) []Scenario {
+	var cells []Scenario
+	for _, n := range []float64{50, 100, 150, 200} {
 		for seed := 1; seed <= seeds; seed++ {
 			sc := DefaultScenario()
 			sc.Seed = int64(seed)
 			sc.Protocol = ALARM
 			sc.N = int(n)
 			sc.Alarm.DisseminationPeriod = 0 // no overhead counted
-			sample.Add(MustRun(sc).HopsPerPacket)
+			cells = append(cells, sc)
+		}
+	}
+	return cells
+}
+
+// Fig15a reproduces Fig. 15a: hops per packet versus number of nodes for
+// the four protocols, plus the "ALARM (include id dissemination hops)"
+// series.
+func Fig15a(r Runner, seeds int) ([]analysis.Series, error) {
+	ns := []float64{50, 100, 150, 200}
+	out, err := sweepMetric(r, ns, seeds,
+		func(sc *Scenario, x float64) { sc.N = int(x) },
+		func(res Result) float64 {
+			return res.HopsPerPacket // includes ExtraHops for ALARM
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Add a routing-only ALARM series for contrast (dissemination is
+	// what HopsPerPacket already includes; subtract it back out).
+	extra, err := r.RunBatch(fig15aExtraCells(seeds))
+	if err != nil {
+		return nil, err
+	}
+	s := analysis.Series{Label: "alarm (routing only)"}
+	idx := 0
+	for _, n := range ns {
+		var sample stats.Sample
+		for seed := 1; seed <= seeds; seed++ {
+			sample.Add(extra[idx].HopsPerPacket)
+			idx++
 		}
 		s.X = append(s.X, n)
 		s.Y = append(s.Y, sample.Mean())
@@ -314,87 +477,51 @@ func Fig15a(seeds int) []analysis.Series {
 			out[i].Label = "alarm (include id dissemination hops)"
 		}
 	}
-	return append(out, s)
+	return append(out, s), nil
 }
 
 // Fig15b reproduces Fig. 15b: hops per packet versus node speed, with and
 // without destination update for ALERT and GPSR.
-func Fig15b(seeds int) []analysis.Series {
-	var out []analysis.Series
-	for _, p := range []ProtocolName{ALERT, GPSR} {
-		for _, upd := range []bool{true, false} {
-			s := analysis.Series{Label: fmt.Sprintf("%s upd=%v", p, upd)}
-			for _, v := range []float64{2, 4, 6, 8} {
-				sc := DefaultScenario()
-				sc.Protocol = p
-				sc.Speed = v
-				sc.LocUpdates = upd
-				sc.Duration = 40
-				var sample stats.Sample
-				for _, r := range mustRunParallel(sc, seeds) {
-					sample.Add(r.HopsPerPacket)
-				}
-				s.X = append(s.X, v)
-				s.Y = append(s.Y, sample.Mean())
-				s.Err = append(s.Err, sample.CI())
-			}
-			out = append(out, s)
-		}
+func Fig15b(r Runner, seeds int) ([]analysis.Series, error) {
+	results, err := r.RunBatch(updSweepCells(seeds))
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return updSweepReduce(results, seeds, func(res Result) float64 { return res.HopsPerPacket }), nil
 }
 
 // Fig16a reproduces Fig. 16a: delivery rate versus number of nodes.
-func Fig16a(seeds int) []analysis.Series {
-	return sweepMetric([]float64{50, 100, 150, 200}, seeds,
+func Fig16a(r Runner, seeds int) ([]analysis.Series, error) {
+	return sweepMetric(r, []float64{50, 100, 150, 200}, seeds,
 		func(sc *Scenario, x float64) { sc.N = int(x); sc.Duration = 40 },
-		func(r Result) float64 { return r.DeliveryRate })
+		func(res Result) float64 { return res.DeliveryRate })
 }
 
 // Fig16b reproduces Fig. 16b: delivery rate versus node speed, with and
 // without destination update, for ALERT and GPSR.
-func Fig16b(seeds int) []analysis.Series {
-	var out []analysis.Series
-	for _, p := range []ProtocolName{ALERT, GPSR} {
-		for _, upd := range []bool{true, false} {
-			s := analysis.Series{Label: fmt.Sprintf("%s upd=%v", p, upd)}
-			for _, v := range []float64{2, 4, 6, 8} {
-				sc := DefaultScenario()
-				sc.Protocol = p
-				sc.Speed = v
-				sc.LocUpdates = upd
-				sc.Duration = 40
-				var sample stats.Sample
-				for _, r := range mustRunParallel(sc, seeds) {
-					sample.Add(r.DeliveryRate)
-				}
-				s.X = append(s.X, v)
-				s.Y = append(s.Y, sample.Mean())
-				s.Err = append(s.Err, sample.CI())
-			}
-			out = append(out, s)
-		}
+func Fig16b(r Runner, seeds int) ([]analysis.Series, error) {
+	results, err := r.RunBatch(updSweepCells(seeds))
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return updSweepReduce(results, seeds, func(res Result) float64 { return res.DeliveryRate }), nil
 }
 
-// Fig17 reproduces Fig. 17: ALERT's delay under the random waypoint model
-// versus the group mobility model with 10 groups/150 m and 5 groups/200 m.
-func Fig17(seeds int) []analysis.Series {
-	configs := []struct {
-		label      string
-		mob        MobilityName
-		groups     int
-		groupRange float64
-	}{
-		{"random waypoint", RandomWaypoint, 0, 0},
-		{"group (10 groups, 150 m)", GroupMobility, 10, 150},
-		{"group (5 groups, 200 m)", GroupMobility, 5, 200},
-	}
-	var out []analysis.Series
-	for _, c := range configs {
-		s := analysis.Series{Label: c.label}
-		var sample stats.Sample
+// fig17Configs are the Fig. 17 movement-model variants.
+var fig17Configs = []struct {
+	label      string
+	mob        MobilityName
+	groups     int
+	groupRange float64
+}{
+	{"random waypoint", RandomWaypoint, 0, 0},
+	{"group (10 groups, 150 m)", GroupMobility, 10, 150},
+	{"group (5 groups, 200 m)", GroupMobility, 5, 200},
+}
+
+func fig17Cells(seeds int) []Scenario {
+	var cells []Scenario
+	for _, c := range fig17Configs {
 		for seed := 1; seed <= seeds; seed++ {
 			sc := DefaultScenario()
 			sc.Seed = int64(seed)
@@ -403,13 +530,68 @@ func Fig17(seeds int) []analysis.Series {
 			sc.Groups = c.groups
 			sc.GroupRange = c.groupRange
 			sc.Duration = 60
-			sample.Add(MustRun(sc).MeanLatency)
+			cells = append(cells, sc)
 		}
-		s.X = []float64{0}
-		s.Y = []float64{sample.Mean()}
-		out = append(out, s)
 	}
-	return out
+	return cells
+}
+
+// Fig17 reproduces Fig. 17: ALERT's delay under the random waypoint model
+// versus the group mobility model with 10 groups/150 m and 5 groups/200 m.
+func Fig17(r Runner, seeds int) ([]analysis.Series, error) {
+	results, err := r.RunBatch(fig17Cells(seeds))
+	if err != nil {
+		return nil, err
+	}
+	var out []analysis.Series
+	idx := 0
+	for _, c := range fig17Configs {
+		var sample stats.Sample
+		for seed := 1; seed <= seeds; seed++ {
+			sample.Add(results[idx].MeanLatency)
+			idx++
+		}
+		out = append(out, analysis.Series{
+			Label: c.label, X: []float64{0}, Y: []float64{sample.Mean()},
+		})
+	}
+	return out, nil
+}
+
+func energyCells(seeds int) []Scenario {
+	var cells []Scenario
+	for _, p := range protosAll {
+		for seed := 1; seed <= seeds; seed++ {
+			sc := DefaultScenario()
+			sc.Seed = int64(seed)
+			sc.Protocol = p
+			sc.Duration = 40
+			cells = append(cells, sc)
+		}
+	}
+	return cells
+}
+
+// EnergySummary returns each protocol's mean energy per delivered packet
+// (joules) over seeds as one-point series — the `figures energy` table.
+func EnergySummary(r Runner, seeds int) ([]analysis.Series, error) {
+	results, err := r.RunBatch(energyCells(seeds))
+	if err != nil {
+		return nil, err
+	}
+	var out []analysis.Series
+	idx := 0
+	for _, p := range protosAll {
+		var e float64
+		for seed := 1; seed <= seeds; seed++ {
+			e += results[idx].EnergyPerDelivered
+			idx++
+		}
+		out = append(out, analysis.Series{
+			Label: string(p), X: []float64{0}, Y: []float64{e / float64(seeds)},
+		})
+	}
+	return out, nil
 }
 
 // Comparison is a pairwise protocol comparison on one metric with Welch's
@@ -422,27 +604,9 @@ type Comparison struct {
 	Welch  stats.WelchResult
 }
 
-// CompareProtocols runs every protocol `seeds` times on the default
-// scenario and tests each pair's difference on the named metrics. It backs
-// the `figures compare` command: the paper's orderings stated with
-// statistical confidence rather than eyeballed means.
-func CompareProtocols(protocols []ProtocolName, seeds int, duration float64) []Comparison {
-	metrics := []struct {
-		name string
-		get  func(Result) float64
-	}{
-		{"latency", func(r Result) float64 { return r.MeanLatency }},
-		{"hops/packet", func(r Result) float64 { return r.HopsPerPacket }},
-		{"delivery", func(r Result) float64 { return r.DeliveryRate }},
-		{"route-similarity", func(r Result) float64 { return r.RouteJaccard }},
-		{"energy/delivered", func(r Result) float64 { return r.EnergyPerDelivered }},
-	}
-	samples := map[ProtocolName]map[string]*stats.Sample{}
+func compareCells(protocols []ProtocolName, seeds int, duration float64) []Scenario {
+	var cells []Scenario
 	for _, p := range protocols {
-		samples[p] = map[string]*stats.Sample{}
-		for _, m := range metrics {
-			samples[p][m.name] = &stats.Sample{}
-		}
 		for seed := 1; seed <= seeds; seed++ {
 			sc := DefaultScenario()
 			sc.Seed = int64(seed)
@@ -450,9 +614,43 @@ func CompareProtocols(protocols []ProtocolName, seeds int, duration float64) []C
 			if duration > 0 {
 				sc.Duration = duration
 			}
-			r := MustRun(sc)
+			cells = append(cells, sc)
+		}
+	}
+	return cells
+}
+
+// CompareProtocols runs every protocol `seeds` times on the default
+// scenario and tests each pair's difference on the named metrics. It backs
+// the `figures compare` command: the paper's orderings stated with
+// statistical confidence rather than eyeballed means.
+func CompareProtocols(r Runner, protocols []ProtocolName, seeds int, duration float64) ([]Comparison, error) {
+	metrics := []struct {
+		name string
+		get  func(Result) float64
+	}{
+		{"latency", func(res Result) float64 { return res.MeanLatency }},
+		{"hops/packet", func(res Result) float64 { return res.HopsPerPacket }},
+		{"delivery", func(res Result) float64 { return res.DeliveryRate }},
+		{"route-similarity", func(res Result) float64 { return res.RouteJaccard }},
+		{"energy/delivered", func(res Result) float64 { return res.EnergyPerDelivered }},
+	}
+	results, err := r.RunBatch(compareCells(protocols, seeds, duration))
+	if err != nil {
+		return nil, err
+	}
+	samples := map[ProtocolName]map[string]*stats.Sample{}
+	idx := 0
+	for _, p := range protocols {
+		samples[p] = map[string]*stats.Sample{}
+		for _, m := range metrics {
+			samples[p][m.name] = &stats.Sample{}
+		}
+		for seed := 1; seed <= seeds; seed++ {
+			res := results[idx]
+			idx++
 			for _, m := range metrics {
-				samples[p][m.name].Add(m.get(r))
+				samples[p][m.name].Add(m.get(res))
 			}
 		}
 	}
@@ -471,5 +669,5 @@ func CompareProtocols(protocols []ProtocolName, seeds int, duration float64) []C
 			}
 		}
 	}
-	return out
+	return out, nil
 }

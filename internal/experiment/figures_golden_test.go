@@ -1,0 +1,166 @@
+package experiment
+
+// The figure-rewire contract: every figure function must produce the exact
+// series — same labels, same values at fixed seeds — through the Runner
+// seam that the pre-campaign hand-rolled loops produced. The digests in
+// testdata/figures_golden.json were captured from the pre-rewire code at
+// these pinned small parameters; this test replays them through
+// DirectRunner, and internal/campaign's golden test replays a subset
+// through the full Engine (cache + store + worker pool) against the same
+// file.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"alertmanet/internal/analysis"
+)
+
+// SeriesDigest hashes labeled series into the figure-golden fingerprint.
+// Exported to the test binary only; internal/campaign's golden test uses
+// the same rendering via its own copy.
+func seriesDigest(series []analysis.Series) string {
+	h := sha256.New()
+	for _, s := range series {
+		fmt.Fprintf(h, "%s|%v|%v|%v\n", s.Label, s.X, s.Y, s.Err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const figuresGoldenPath = "testdata/figures_golden.json"
+
+// goldenFigureTimes is the pinned small sample grid the digests were
+// captured at (not the paper's full defaultTimes).
+func goldenFigureTimes() []float64 { return []float64{0, 5, 10} }
+
+// goldenFigures computes every figure's digest at the pinned capture
+// parameters through the given runner.
+func goldenFigures(t *testing.T, r Runner) map[string]string {
+	t.Helper()
+	got := map[string]string{}
+	record := func(name string) func(s []analysis.Series, err error) {
+		return func(s []analysis.Series, err error) {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got[name] = seriesDigest(s)
+		}
+	}
+	single := func(s analysis.Series, err error) ([]analysis.Series, error) {
+		return []analysis.Series{s}, err
+	}
+
+	record("fig10a")(Fig10a(r, 5, 2))
+	record("fig10b")(Fig10b(r, 5, 2))
+	record("fig11")(single(Fig11(r, 3, 2)))
+	record("fig12")(Fig12(r, goldenFigureTimes(), 2))
+	record("fig13a")(Fig13a(r, goldenFigureTimes(), 2))
+	record("fig13b")(single(Fig13b(r, 4, []float64{2, 4}, 2)))
+	record("fig14a")(Fig14a(r, 2))
+	record("fig14b")(Fig14b(r, 2))
+	record("fig15a")(Fig15a(r, 2))
+	record("fig15b")(Fig15b(r, 2))
+	record("fig16a")(Fig16a(r, 2))
+	record("fig16b")(Fig16b(r, 2))
+	record("fig17")(Fig17(r, 2))
+	record("energy")(EnergySummary(r, 2))
+
+	comps, err := CompareProtocols(r, []ProtocolName{ALERT, GPSR}, 3, 20)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	h := sha256.New()
+	for _, c := range comps {
+		fmt.Fprintf(h, "%+v\n", c)
+	}
+	got["compare"] = hex.EncodeToString(h.Sum(nil))
+	return got
+}
+
+// loadFigureGoldens reads the pinned pre-rewire digests.
+func loadFigureGoldens(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(figuresGoldenPath)
+	if err != nil {
+		t.Fatalf("read figure golden corpus (run with -update to create): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", figuresGoldenPath, err)
+	}
+	return want
+}
+
+// TestFigureGoldenSeries pins the rewired figure functions to the series
+// the pre-campaign loops produced: identical labels and values at fixed
+// seeds, via DirectRunner. Re-bless with -update only for an intended
+// behaviour change.
+func TestFigureGoldenSeries(t *testing.T) {
+	got := goldenFigures(t, DirectRunner{})
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(figuresGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("re-blessed %s", figuresGoldenPath)
+		return
+	}
+
+	want := loadFigureGoldens(t)
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s: series digest %s, golden %s — figure output changed",
+				name, got[name], w)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: missing from golden corpus; re-bless with -update", name)
+		}
+	}
+}
+
+// shortRunner wraps a Runner and truncates every Cumulative series, forcing
+// the short-run path that the old counts[i] > 0 guard silently absorbed.
+type shortRunner struct{ inner Runner }
+
+func (s shortRunner) RunBatch(cells []Scenario) ([]Result, error) {
+	results, err := s.inner.RunBatch(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		if len(results[i].Cumulative) > 1 {
+			results[i].Cumulative = results[i].Cumulative[:1]
+		}
+	}
+	return results, nil
+}
+
+func (s shortRunner) RemainingBatch(cells []RemainingSpec) ([]RemainingResult, error) {
+	return s.inner.RemainingBatch(cells)
+}
+
+// TestFig10ShortRunReported: a cell that recorded fewer packets than the
+// figure needs is a reported error naming the cell, not a silently skewed
+// mean.
+func TestFig10ShortRunReported(t *testing.T) {
+	r := shortRunner{inner: DirectRunner{}}
+	if _, err := Fig10a(r, 5, 1); err == nil {
+		t.Fatal("Fig10a: want short-run cell error, got nil")
+	} else if want := "short-run cell"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("Fig10a error %q does not mention %q", err, want)
+	}
+	if _, err := Fig10b(r, 5, 1); err == nil {
+		t.Fatal("Fig10b: want short-run cell error, got nil")
+	}
+}

@@ -1,0 +1,227 @@
+// The figure registry: every evaluation figure as data — a name, the title
+// cmd/figures prints, a Plan that enumerates the cells the figure needs up
+// front, and a Render that reduces executed cells into series. The split is
+// what lets cmd/campaign run the union of all figures' cells as one
+// deduplicated, resumable campaign and report per-figure completion without
+// executing anything.
+
+package experiment
+
+import "alertmanet/internal/analysis"
+
+// Paper-default figure parameters (what cmd/figures has always used).
+const (
+	defaultPackets = 20
+	defaultHMax    = 7
+	fig13bTarget   = 4
+)
+
+// defaultTimes is the Figs. 12/13a sample-time grid.
+func defaultTimes() []float64 { return []float64{0, 5, 10, 15, 20, 30, 40, 50} }
+
+// fig13bSpeeds is the Fig. 13b speed grid.
+func fig13bSpeeds() []float64 { return []float64{1, 2, 4, 6, 8} }
+
+// FigurePlan is the up-front cell enumeration of one figure: full
+// simulation runs plus mobility-only remaining-nodes cells. Adaptive
+// figures (Fig. 13b's density scan) cannot enumerate their cells before
+// seeing results and return an empty plan; their cells still flow through
+// the runner — and its cache — at render time.
+type FigurePlan struct {
+	Runs      []Scenario
+	Remaining []RemainingSpec
+}
+
+// Cells returns the number of planned cells.
+func (p FigurePlan) Cells() int { return len(p.Runs) + len(p.Remaining) }
+
+// Figure is one registry entry.
+type Figure struct {
+	// Name is the CLI selector (fig10a ... fig17, energy).
+	Name string
+	// Title is the heading cmd/figures prints above the series.
+	Title string
+	// Plan enumerates the cells the figure needs for a given seed count.
+	Plan func(seeds int) FigurePlan
+	// Render executes the figure through the runner and reduces to series.
+	Render func(r Runner, seeds int) ([]analysis.Series, error)
+}
+
+// Figures returns every series-producing figure of the evaluation in
+// presentation order, at the paper's default parameters.
+func Figures() []Figure {
+	return []Figure{
+		{
+			Name:  "fig10a",
+			Title: "Fig. 10a: cumulative actual participating nodes vs packets",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: fig10aCells(defaultPackets, seeds)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig10a(r, defaultPackets, seeds)
+			},
+		},
+		{
+			Name:  "fig10b",
+			Title: "Fig. 10b: participating nodes after 20 packets vs network size",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: fig10bCells(defaultPackets, seeds)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig10b(r, defaultPackets, seeds)
+			},
+		},
+		{
+			Name:  "fig11",
+			Title: "Fig. 11: random forwarders vs partitions (simulated; cf. Fig. 7b)",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: fig11Cells(defaultHMax, seeds)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				s, err := Fig11(r, defaultHMax, seeds)
+				if err != nil {
+					return nil, err
+				}
+				return []analysis.Series{s}, nil
+			},
+		},
+		{
+			Name:  "fig12",
+			Title: "Fig. 12: remaining nodes in Z_D vs time by density (H=5, v=2)",
+			Plan: func(seeds int) FigurePlan {
+				var rem []RemainingSpec
+				for _, n := range []int{100, 150, 200} {
+					rem = append(rem, remainingCells(n, 5, 2, RandomWaypoint, defaultTimes(), 5, seeds)...)
+				}
+				return FigurePlan{Remaining: rem}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig12(r, defaultTimes(), seeds)
+			},
+		},
+		{
+			Name:  "fig13a",
+			Title: "Fig. 13a: remaining nodes vs time by H and speed (N=200)",
+			Plan: func(seeds int) FigurePlan {
+				var rem []RemainingSpec
+				for _, h := range []int{4, 5} {
+					for _, v := range []float64{0, 2, 4} {
+						rem = append(rem, remainingCells(200, h, v, RandomWaypoint, defaultTimes(), 5, seeds)...)
+					}
+				}
+				return FigurePlan{Remaining: rem}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig13a(r, defaultTimes(), seeds)
+			},
+		},
+		{
+			Name:  "fig13b",
+			Title: "Fig. 13b: required density vs speed (4 nodes remaining at t=10s)",
+			// The density scan is adaptive: nothing to plan up front.
+			Plan: func(seeds int) FigurePlan { return FigurePlan{} },
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				s, err := Fig13b(r, fig13bTarget, fig13bSpeeds(), seeds)
+				if err != nil {
+					return nil, err
+				}
+				return []analysis.Series{s}, nil
+			},
+		},
+		{
+			Name:  "fig14a",
+			Title: "Fig. 14a: latency per packet (s) vs number of nodes",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: sweepCells([]float64{50, 100, 150, 200}, seeds,
+					func(sc *Scenario, x float64) { sc.N = int(x); sc.Duration = 40 })}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig14a(r, seeds)
+			},
+		},
+		{
+			Name:  "fig14b",
+			Title: "Fig. 14b: latency per packet (s) vs node speed",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: append(updSweepCells(seeds), fig14bTailCells(seeds)...)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig14b(r, seeds)
+			},
+		},
+		{
+			Name:  "fig15a",
+			Title: "Fig. 15a: hops per packet vs number of nodes",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: append(
+					sweepCells([]float64{50, 100, 150, 200}, seeds,
+						func(sc *Scenario, x float64) { sc.N = int(x) }),
+					fig15aExtraCells(seeds)...)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig15a(r, seeds)
+			},
+		},
+		{
+			Name:  "fig15b",
+			Title: "Fig. 15b: hops per packet vs node speed",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: updSweepCells(seeds)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig15b(r, seeds)
+			},
+		},
+		{
+			Name:  "fig16a",
+			Title: "Fig. 16a: delivery rate vs number of nodes",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: sweepCells([]float64{50, 100, 150, 200}, seeds,
+					func(sc *Scenario, x float64) { sc.N = int(x); sc.Duration = 40 })}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig16a(r, seeds)
+			},
+		},
+		{
+			Name:  "fig16b",
+			Title: "Fig. 16b: delivery rate vs node speed (with/without destination update)",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: updSweepCells(seeds)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig16b(r, seeds)
+			},
+		},
+		{
+			Name:  "fig17",
+			Title: "Fig. 17: ALERT delay (s) under different movement models",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: fig17Cells(seeds)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return Fig17(r, seeds)
+			},
+		},
+		{
+			Name:  "energy",
+			Title: "Energy per delivered packet (J, transmission + cryptography)",
+			Plan: func(seeds int) FigurePlan {
+				return FigurePlan{Runs: energyCells(seeds)}
+			},
+			Render: func(r Runner, seeds int) ([]analysis.Series, error) {
+				return EnergySummary(r, seeds)
+			},
+		},
+	}
+}
+
+// FindFigure returns the registry entry with the given name.
+func FindFigure(name string) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}

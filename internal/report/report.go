@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"alertmanet/internal/analysis"
+	"alertmanet/internal/campaign"
 	"alertmanet/internal/experiment"
 )
 
@@ -21,6 +22,10 @@ type Config struct {
 	// Sections limits the report to the named sections; empty means all.
 	// Valid names: analytical, figures, table1, attacks, energy, compare.
 	Sections []string
+	// Runner executes simulation cells; nil means a fresh campaign engine,
+	// whose in-process memo already deduplicates the cells the energy and
+	// compare sections share.
+	Runner experiment.Runner
 }
 
 // DefaultConfig renders everything with 5 seeds.
@@ -43,7 +48,25 @@ func Generate(w io.Writer, cfg Config) error {
 	if cfg.Seeds <= 0 {
 		cfg.Seeds = 5
 	}
+	r := cfg.Runner
+	if r == nil {
+		r = &campaign.Engine{Name: "report"}
+	}
 	bw := &errWriter{w: w}
+	fig := func(title string) func(series []analysis.Series, err error) {
+		return func(series []analysis.Series, err error) {
+			if err != nil {
+				if bw.err == nil {
+					bw.err = err
+				}
+				return
+			}
+			mdSeries(bw, title, series)
+		}
+	}
+	one := func(s analysis.Series, err error) ([]analysis.Series, error) {
+		return []analysis.Series{s}, err
+	}
 	fmt.Fprintf(bw, "# ALERT reproduction report\n\n")
 	fmt.Fprintf(bw, "Simulated data points averaged over %d seeded runs.\n\n", cfg.Seeds)
 
@@ -63,32 +86,32 @@ func Generate(w io.Writer, cfg Config) error {
 	if cfg.wants("figures") {
 		bw.section("Simulation figures (Section 5)")
 		times := []float64{0, 10, 20, 30, 40, 50}
-		mdSeries(bw, "Fig. 10a — cumulative participating nodes vs packets",
-			experiment.Fig10a(20, cfg.Seeds))
-		mdSeries(bw, "Fig. 10b — participating nodes after 20 packets vs N",
-			experiment.Fig10b(20, cfg.Seeds))
-		mdSeries(bw, "Fig. 11 — random forwarders vs partitions (simulated)",
-			[]analysis.Series{experiment.Fig11(7, cfg.Seeds)})
-		mdSeries(bw, "Fig. 12 — remaining nodes vs time by density (H=5, v=2)",
-			experiment.Fig12(times, cfg.Seeds))
-		mdSeries(bw, "Fig. 13a — remaining nodes vs time by H and speed",
-			experiment.Fig13a(times, cfg.Seeds))
-		mdSeries(bw, "Fig. 13b — required density vs speed (4 remaining at t=10 s)",
-			[]analysis.Series{experiment.Fig13b(4, []float64{1, 2, 4, 6, 8}, cfg.Seeds)})
-		mdSeries(bw, "Fig. 14a — latency per packet (s) vs N",
-			experiment.Fig14a(cfg.Seeds))
-		mdSeries(bw, "Fig. 14b — latency per packet (s) vs speed",
-			experiment.Fig14b(cfg.Seeds))
-		mdSeries(bw, "Fig. 15a — hops per packet vs N",
-			experiment.Fig15a(cfg.Seeds))
-		mdSeries(bw, "Fig. 15b — hops per packet vs speed",
-			experiment.Fig15b(cfg.Seeds))
-		mdSeries(bw, "Fig. 16a — delivery rate vs N",
-			experiment.Fig16a(cfg.Seeds))
-		mdSeries(bw, "Fig. 16b — delivery rate vs speed",
-			experiment.Fig16b(cfg.Seeds))
-		mdSeries(bw, "Fig. 17 — ALERT delay (s) by movement model",
-			experiment.Fig17(cfg.Seeds))
+		fig("Fig. 10a — cumulative participating nodes vs packets")(
+			experiment.Fig10a(r, 20, cfg.Seeds))
+		fig("Fig. 10b — participating nodes after 20 packets vs N")(
+			experiment.Fig10b(r, 20, cfg.Seeds))
+		fig("Fig. 11 — random forwarders vs partitions (simulated)")(
+			one(experiment.Fig11(r, 7, cfg.Seeds)))
+		fig("Fig. 12 — remaining nodes vs time by density (H=5, v=2)")(
+			experiment.Fig12(r, times, cfg.Seeds))
+		fig("Fig. 13a — remaining nodes vs time by H and speed")(
+			experiment.Fig13a(r, times, cfg.Seeds))
+		fig("Fig. 13b — required density vs speed (4 remaining at t=10 s)")(
+			one(experiment.Fig13b(r, 4, []float64{1, 2, 4, 6, 8}, cfg.Seeds)))
+		fig("Fig. 14a — latency per packet (s) vs N")(
+			experiment.Fig14a(r, cfg.Seeds))
+		fig("Fig. 14b — latency per packet (s) vs speed")(
+			experiment.Fig14b(r, cfg.Seeds))
+		fig("Fig. 15a — hops per packet vs N")(
+			experiment.Fig15a(r, cfg.Seeds))
+		fig("Fig. 15b — hops per packet vs speed")(
+			experiment.Fig15b(r, cfg.Seeds))
+		fig("Fig. 16a — delivery rate vs N")(
+			experiment.Fig16a(r, cfg.Seeds))
+		fig("Fig. 16b — delivery rate vs speed")(
+			experiment.Fig16b(r, cfg.Seeds))
+		fig("Fig. 17 — ALERT delay (s) by movement model")(
+			experiment.Fig17(r, cfg.Seeds))
 	}
 
 	if cfg.wants("table1") {
@@ -137,18 +160,15 @@ func Generate(w io.Writer, cfg Config) error {
 	if cfg.wants("energy") {
 		bw.section("Energy per delivered packet")
 		fmt.Fprintf(bw, "| protocol | mJ/packet |\n|---|---|\n")
-		for _, p := range []experiment.ProtocolName{
-			experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
-		} {
-			var e float64
-			for s := 1; s <= cfg.Seeds; s++ {
-				sc := experiment.DefaultScenario()
-				sc.Seed = int64(s)
-				sc.Protocol = p
-				sc.Duration = 40
-				e += experiment.MustRun(sc).EnergyPerDelivered
+		series, err := experiment.EnergySummary(r, cfg.Seeds)
+		if err != nil {
+			if bw.err == nil {
+				bw.err = err
 			}
-			fmt.Fprintf(bw, "| %s | %.2f |\n", p, e/float64(cfg.Seeds)*1e3)
+		} else {
+			for _, s := range series {
+				fmt.Fprintf(bw, "| %s | %.2f |\n", s.Label, s.Y[0]*1e3)
+			}
 		}
 		fmt.Fprintln(bw)
 	}
@@ -157,11 +177,18 @@ func Generate(w io.Writer, cfg Config) error {
 		bw.section("Pairwise significance (Welch's t-test, 95%)")
 		fmt.Fprintf(bw, "| metric | A | mean A | B | mean B | t | significant |\n")
 		fmt.Fprintf(bw, "|---|---|---|---|---|---|---|\n")
-		for _, c := range experiment.CompareProtocols([]experiment.ProtocolName{
+		comps, err := experiment.CompareProtocols(r, []experiment.ProtocolName{
 			experiment.ALERT, experiment.GPSR, experiment.ALARM, experiment.AO2P,
-		}, cfg.Seeds, 40) {
-			fmt.Fprintf(bw, "| %s | %s | %.4f | %s | %.4f | %.2f | %v |\n",
-				c.Metric, c.A, c.MeanA, c.B, c.MeanB, c.Welch.T, c.Welch.Significant)
+		}, cfg.Seeds, 40)
+		if err != nil {
+			if bw.err == nil {
+				bw.err = err
+			}
+		} else {
+			for _, c := range comps {
+				fmt.Fprintf(bw, "| %s | %s | %.4f | %s | %.4f | %.2f | %v |\n",
+					c.Metric, c.A, c.MeanA, c.B, c.MeanB, c.Welch.T, c.Welch.Significant)
+			}
 		}
 		fmt.Fprintln(bw)
 	}
