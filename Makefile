@@ -40,10 +40,13 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Single-iteration smoke over the root figure benchmarks, leaving a
-# machine-readable artifact (cmd/benchjson parses the text output).
+# machine-readable artifact (cmd/benchjson parses the text output) and
+# gating allocs/op against the committed baseline: allocation counts are
+# deterministic even at -benchtime=1x, so a regression is real.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr5.json
-	@echo "wrote BENCH_pr5.json"
+	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr6.json
+	@echo "wrote BENCH_pr6.json"
+	$(GO) run ./cmd/benchjson -compare BENCH_pr4.json BENCH_pr6.json
 
 # Regenerate every evaluation figure at paper fidelity (30 seeds) as one
 # parallel, resumable campaign: results stream to out/figures-campaign, so a
@@ -74,6 +77,8 @@ fuzz:
 	$(GO) test ./internal/mobility -fuzz FuzzParseNS2 -fuzztime 30s
 	$(GO) test ./internal/sim -fuzz FuzzSchedule -fuzztime 30s
 
+# BENCH_pr3/pr4/pr6.json are committed comparison baselines, not build
+# outputs — clean only removes the transient artifacts.
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_pr3.json BENCH_pr4.json BENCH_pr5.json
+	rm -f test_output.txt bench_output.txt BENCH_pr5.json
 	rm -rf out

@@ -10,6 +10,17 @@
 // goos/goarch/pkg header lines fill in context, everything else is
 // ignored. Exits non-zero if the stream contains no benchmark results —
 // a smoke run that benchmarked nothing is a broken smoke run.
+//
+// With -compare, the command instead diffs two artifacts it previously
+// produced:
+//
+//	go run ./cmd/benchjson -compare BENCH_pr4.json BENCH_pr6.json
+//
+// and exits non-zero if any benchmark present in both regressed its
+// allocs_per_op. Allocation counts — unlike ns/op — are deterministic even
+// under -benchtime=1x, so this is the one memory gate a smoke run can
+// enforce reliably. Timings and custom metrics are printed for context
+// only.
 package main
 
 import (
@@ -17,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +54,22 @@ type document struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-compare" {
+		if len(os.Args) != 4 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		report, regressed, err := compareFiles(os.Args[2], os.Args[3])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -53,6 +81,77 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compareFiles loads two artifacts and renders the allocation diff. The
+// second return value reports whether any shared benchmark regressed its
+// allocs_per_op.
+func compareFiles(oldPath, newPath string) (string, bool, error) {
+	load := func(path string) (*document, error) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc document
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &doc, nil
+	}
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return "", false, err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return "", false, err
+	}
+	return compare(oldDoc, newDoc)
+}
+
+// compare matches benchmarks by package+name and judges allocs_per_op.
+// Benchmarks present on only one side are listed but never judged: a new
+// benchmark has no baseline, and a removed one gates nothing.
+func compare(oldDoc, newDoc *document) (string, bool, error) {
+	key := func(b benchResult) string { return b.Package + "." + b.Name }
+	old := make(map[string]benchResult, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		old[key(b)] = b
+	}
+	var sb strings.Builder
+	regressed, matched := false, 0
+	for _, nb := range newDoc.Benchmarks {
+		ob, ok := old[key(nb)]
+		if !ok {
+			fmt.Fprintf(&sb, "  new   %-40s %d allocs/op (no baseline)\n", nb.Name, nb.AllocsPerOp)
+			continue
+		}
+		matched++
+		delete(old, key(nb))
+		switch {
+		case nb.AllocsPerOp > ob.AllocsPerOp:
+			regressed = true
+			fmt.Fprintf(&sb, "  WORSE %-40s %d -> %d allocs/op\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
+		case nb.AllocsPerOp < ob.AllocsPerOp:
+			fmt.Fprintf(&sb, "  better %-39s %d -> %d allocs/op\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
+		}
+	}
+	gone := make([]string, 0, len(old))
+	for name := range old {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(&sb, "  gone  %s\n", name)
+	}
+	if matched == 0 {
+		return "", false, fmt.Errorf("no benchmarks in common between the two artifacts")
+	}
+	verdict := "PASS"
+	if regressed {
+		verdict = "FAIL: allocs_per_op regressed"
+	}
+	return fmt.Sprintf("benchjson compare: %d matched\n%s%s\n", matched, sb.String(), verdict), regressed, nil
 }
 
 func parse(sc *bufio.Scanner) (*document, error) {

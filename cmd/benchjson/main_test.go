@@ -66,3 +66,69 @@ func TestParseResultRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func compareDocs(t *testing.T, oldB, newB []benchResult) (string, bool) {
+	t.Helper()
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report, regressed
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldB := []benchResult{
+		{Package: "p", Name: "A", AllocsPerOp: 10},
+		{Package: "p", Name: "B", AllocsPerOp: 5},
+	}
+	newB := []benchResult{
+		{Package: "p", Name: "A", AllocsPerOp: 12}, // worse
+		{Package: "p", Name: "B", AllocsPerOp: 5},  // unchanged
+	}
+	report, regressed := compareDocs(t, oldB, newB)
+	if !regressed {
+		t.Fatal("regression not flagged")
+	}
+	if !strings.Contains(report, "WORSE") || !strings.Contains(report, "FAIL") {
+		t.Fatalf("report = %q", report)
+	}
+}
+
+func TestComparePassesOnImprovement(t *testing.T) {
+	oldB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 29}}
+	newB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 3}}
+	report, regressed := compareDocs(t, oldB, newB)
+	if regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+	if !strings.Contains(report, "better") || !strings.Contains(report, "PASS") {
+		t.Fatalf("report = %q", report)
+	}
+}
+
+func TestCompareIgnoresUnmatched(t *testing.T) {
+	oldB := []benchResult{
+		{Package: "p", Name: "A", AllocsPerOp: 1},
+		{Package: "p", Name: "Gone", AllocsPerOp: 100},
+	}
+	newB := []benchResult{
+		{Package: "p", Name: "A", AllocsPerOp: 1},
+		{Package: "p", Name: "New", AllocsPerOp: 999}, // no baseline: listed, not judged
+	}
+	report, regressed := compareDocs(t, oldB, newB)
+	if regressed {
+		t.Fatal("unmatched benchmarks must not gate")
+	}
+	if !strings.Contains(report, "new") || !strings.Contains(report, "gone") {
+		t.Fatalf("report = %q", report)
+	}
+}
+
+func TestCompareErrorsWithNothingInCommon(t *testing.T) {
+	_, _, err := compare(
+		&document{Benchmarks: []benchResult{{Package: "p", Name: "A"}}},
+		&document{Benchmarks: []benchResult{{Package: "p", Name: "B"}}})
+	if err == nil {
+		t.Fatal("disjoint artifacts must error, not silently pass")
+	}
+}

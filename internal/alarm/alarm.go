@@ -87,11 +87,11 @@ func New(net *node.Network, loc *locservice.Service, cfg Config) *Protocol {
 				return
 			}
 			// Hop-by-hop encryption: the receiving relay verifies and
-			// re-encrypts before taking its routing step.
+			// re-encrypts before taking its routing step. The whole
+			// charge is one pooled event, so a relay hop allocates
+			// nothing.
 			net.NotePub(1)
-			net.Eng.Schedule(net.Costs.PubEncrypt, func() {
-				p.router.Handle(id, pkt)
-			})
+			p.router.HandleAfter(net.Costs.PubEncrypt, id, pkt)
 		})
 	}
 	if cfg.DisseminationPeriod > 0 {
@@ -135,24 +135,26 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRec
 		m.completed = true
 		if pkt != nil {
 			rec.Hops = pkt.Hops
-			rec.Path = pkt.Path
+			// Copy, never alias: the frame goes back to the router's
+			// pool after the outcome and its Path will be rewritten.
+			rec.Path = append(rec.Path[:0], pkt.Path...)
 		}
 		p.col.Complete(rec, at, delivered)
 	}
 	if p.cfg.CompleteTimeout > 0 {
 		p.net.Eng.Schedule(p.cfg.CompleteTimeout, func() { finish(nil, 0, false) })
 	}
-	pkt := &gpsr.Packet{
-		Dest:      entry.Pos,
-		DeliverTo: dst,
-		Payload:   m,
-		Size:      p.cfg.PacketSize,
-		HopBudget: p.cfg.HopBudget,
-		OnOutcome: func(_ medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
-			// The destination's decryption was charged by its
-			// reception handler like any hop's verification.
-			finish(gp, p.net.Eng.Now(), out == gpsr.Delivered)
-		},
+	pkt := p.router.NewPacket()
+	pkt.Dest = entry.Pos
+	pkt.DeliverTo = dst
+	pkt.Payload = m
+	pkt.Size = p.cfg.PacketSize
+	pkt.HopBudget = p.cfg.HopBudget
+	pkt.OnOutcome = func(_ medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
+		// The destination's decryption was charged by its
+		// reception handler like any hop's verification.
+		finish(gp, p.net.Eng.Now(), out == gpsr.Delivered)
+		p.router.Release(gp)
 	}
 	pkt.SetTrace(rec.Seq)
 	// Source-side encryption for the first hop.

@@ -164,7 +164,7 @@ type Series struct {
 func Fig7aPossibleParticipants(nodeCounts []int, hMax int, lA float64) []Series {
 	out := make([]Series, 0, len(nodeCounts))
 	for _, n := range nodeCounts {
-		s := Series{Label: label("N=", n)}
+		s := newSeries(label("N=", n), hMax)
 		for h := 1; h <= hMax; h++ {
 			s.X = append(s.X, float64(h))
 			s.Y = append(s.Y, PossibleParticipants(n, h, lA, lA))
@@ -177,7 +177,7 @@ func Fig7aPossibleParticipants(nodeCounts []int, hMax int, lA float64) []Series 
 // Fig7bExpectedRFs generates the Fig. 7b curve: expected random forwarders
 // versus the number of partitions.
 func Fig7bExpectedRFs(hMax int) Series {
-	s := Series{Label: "E[RFs]"}
+	s := newSeries("E[RFs]", hMax)
 	for h := 1; h <= hMax; h++ {
 		s.X = append(s.X, float64(h))
 		s.Y = append(s.Y, ExpectedRFs(h))
@@ -190,7 +190,7 @@ func Fig7bExpectedRFs(hMax int) Series {
 func Fig9aRemainingNodes(nodeCounts []int, h int, lA, speed float64, times []float64) []Series {
 	out := make([]Series, 0, len(nodeCounts))
 	for _, n := range nodeCounts {
-		s := Series{Label: label("N=", n)}
+		s := newSeries(label("N=", n), len(times))
 		for _, t := range times {
 			s.X = append(s.X, t)
 			s.Y = append(s.Y, RemainingNodes(t, n, h, lA, speed))
@@ -205,7 +205,7 @@ func Fig9aRemainingNodes(nodeCounts []int, h int, lA, speed float64, times []flo
 func Fig9bRemainingNodes(n, h int, lA float64, speeds, times []float64) []Series {
 	out := make([]Series, 0, len(speeds))
 	for _, v := range speeds {
-		s := Series{Label: labelF("v=", v)}
+		s := newSeries(labelF("v=", v), len(times))
 		for _, t := range times {
 			s.X = append(s.X, t)
 			s.Y = append(s.Y, RemainingNodes(t, n, h, lA, v))
@@ -215,39 +215,52 @@ func Fig9bRemainingNodes(n, h int, lA float64, speeds, times []float64) []Series
 	return out
 }
 
+// newSeries starts a series with X and Y pre-sized to the known point
+// count, so the generators' append loops never trigger growth
+// reallocations (the figure benchmarks gate allocs/op in CI).
+func newSeries(label string, points int) Series {
+	return Series{
+		Label: label,
+		X:     make([]float64, 0, points),
+		Y:     make([]float64, 0, points),
+	}
+}
+
+// label and labelF render their text through one shared stack buffer and
+// a single string conversion, instead of the itoa-then-concatenate chain
+// that cost two allocations per series.
 func label(prefix string, v int) string {
-	return prefix + itoa(v)
+	var buf [32]byte
+	return string(appendInt(append(buf[:0], prefix...), v))
 }
 
 func labelF(prefix string, v float64) string {
 	// Speeds in the paper are small integers or halves.
+	var buf [32]byte
 	whole := int(v)
+	b := appendInt(append(buf[:0], prefix...), whole)
 	if float64(whole) == v {
-		return prefix + itoa(whole) + " m/s"
+		return string(append(b, " m/s"...))
 	}
-	return prefix + itoa(whole) + ".5 m/s"
+	return string(append(b, ".5 m/s"...))
 }
 
-func itoa(v int) string {
+func appendInt(b []byte, v int) []byte {
 	if v == 0 {
-		return "0"
+		return append(b, '0')
 	}
-	neg := v < 0
-	if neg {
+	if v < 0 {
+		b = append(b, '-')
 		v = -v
 	}
-	var buf [24]byte
-	p := len(buf)
+	var digits [20]byte
+	p := len(digits)
 	for v > 0 {
 		p--
-		buf[p] = byte('0' + v%10)
+		digits[p] = byte('0' + v%10)
 		v /= 10
 	}
-	if neg {
-		p--
-		buf[p] = '-'
-	}
-	return string(buf[p:])
+	return append(b, digits[p:]...)
 }
 
 // CoveragePercent is Section 3.3's coverage expression for the two-step

@@ -112,18 +112,14 @@ func New(net *node.Network, loc *locservice.Service, cfg Config, src *rng.Source
 					if tp := p.router.Tap(); tp != nil {
 						tp.Forward(p.net.Eng.Now(), pkt.TelemetryTrace(), int(id), int(m.dst), "claim")
 					}
-					p.net.Med.UnicastOutcome(id, m.dst, pkt, p.cfg.PacketSize,
-						func(out medium.SendOutcome) {
-							if out != medium.SendDelivered {
-								p.router.Finish(id, pkt, gpsr.DroppedLink)
-							}
-						})
+					p.router.UnicastPacket(id, m.dst, pkt)
 				})
 				return
 			}
 			// Ordinary relay: contention phase + hop-by-hop
-			// re-encryption, then the greedy/perimeter step.
-			p.charge(func() { p.router.Handle(id, pkt) })
+			// re-encryption batched into one pooled event.
+			p.net.NotePub(1)
+			p.router.HandleAfter(p.cfg.ContentionDelay+p.net.Costs.PubEncrypt, id, pkt)
 		})
 	}
 	return p
@@ -164,24 +160,26 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRec
 		p.net.Eng.Schedule(p.cfg.CompleteTimeout, func() { p.finish(m, nil, 0, false) })
 	}
 	vd := p.virtualDest(p.net.Med.PositionNow(src), entry.Pos)
-	pkt := &gpsr.Packet{
-		Dest:      vd,
-		DeliverTo: gpsr.NoDeliverTo,
-		Payload:   m,
-		Size:      p.cfg.PacketSize,
-		HopBudget: p.cfg.HopBudget,
-		OnOutcome: func(at medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
-			// Delivered means D claimed the packet (the demux closes
-			// that through the router). Reaching the node closest to
-			// the virtual destination without D claiming it means
-			// delivery failed — unless that node IS D.
-			if out == gpsr.Delivered ||
-				(out == gpsr.ArrivedClosest && at == m.dst) {
-				p.deliver(at, m, gp)
-				return
-			}
-			p.finish(m, gp, 0, false)
-		},
+	pkt := p.router.NewPacket()
+	pkt.Dest = vd
+	pkt.DeliverTo = gpsr.NoDeliverTo
+	pkt.Payload = m
+	pkt.Size = p.cfg.PacketSize
+	pkt.HopBudget = p.cfg.HopBudget
+	pkt.OnOutcome = func(at medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
+		// Delivered means D claimed the packet (the demux closes
+		// that through the router). Reaching the node closest to
+		// the virtual destination without D claiming it means
+		// delivery failed — unless that node IS D.
+		if out == gpsr.Delivered ||
+			(out == gpsr.ArrivedClosest && at == m.dst) {
+			// deliver retains the frame until its decryption charge
+			// lands; it is released there.
+			p.deliver(at, m, gp)
+			return
+		}
+		p.finish(m, gp, 0, false)
+		p.router.Release(gp)
 	}
 	pkt.SetTrace(rec.Seq)
 	// Source-side initial encryption for the first hop.
@@ -189,11 +187,13 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRec
 	return rec, nil
 }
 
-// deliver runs at D: one decryption charge, then record delivery.
+// deliver runs at D: one decryption charge, then record delivery. The frame
+// is retained across the charge and released once the record is written.
 func (p *Protocol) deliver(at medium.NodeID, m *meta, pkt *gpsr.Packet) {
 	p.net.NotePub(1)
 	p.net.Eng.Schedule(p.net.Costs.PubDecrypt, func() {
 		p.finish(m, pkt, p.net.Eng.Now(), true)
+		p.router.Release(pkt)
 	})
 	_ = at
 }
@@ -205,7 +205,9 @@ func (p *Protocol) finish(m *meta, pkt *gpsr.Packet, at float64, delivered bool)
 	m.completed = true
 	if pkt != nil {
 		m.rec.Hops = pkt.Hops
-		m.rec.Path = pkt.Path
+		// Copy, never alias: the frame goes back to the router's pool
+		// after the outcome and its Path will be rewritten.
+		m.rec.Path = append(m.rec.Path[:0], pkt.Path...)
 	}
 	p.col.Complete(m.rec, at, delivered)
 }

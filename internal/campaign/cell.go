@@ -73,11 +73,13 @@ func (c Cell) Label() string {
 		c.Rem.N, c.Rem.H, c.Rem.Speed, c.Rem.Seed)
 }
 
-// execute runs the cell and wraps its outcome as a storable record.
-func (c Cell) execute(key string) (*Record, error) {
+// execute runs the cell and wraps its outcome as a storable record. The
+// arena (may be nil) supplies recycled simulation substrate; it belongs to
+// the calling worker and must not be shared with a concurrent execute.
+func (c Cell) execute(key string, arena *experiment.Arena) (*Record, error) {
 	switch c.Kind {
 	case KindRun:
-		res, err := experiment.Run(c.Run)
+		res, err := experiment.RunArena(c.Run, arena)
 		if err != nil {
 			return nil, err
 		}

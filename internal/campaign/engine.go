@@ -308,11 +308,15 @@ func (e *Engine) executeAll(toRun []*pending) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker recycles its simulation substrate (engine event
+			// storage, packet-record slab) across the cells it executes.
+			// The arena is strictly worker-local: runs never share one.
+			arena := experiment.NewArena()
 			for p := range next {
 				if err := ctx.Err(); err != nil {
 					p.err = err
 				} else {
-					e.executeOne(p, attempts)
+					e.executeOne(p, attempts, arena)
 				}
 				e.note(p)
 			}
@@ -364,14 +368,16 @@ func (e *Engine) note(p *pending) {
 	}
 }
 
-// executeOne runs a single cell with retries and caches its result.
-func (e *Engine) executeOne(p *pending, attempts int) {
+// executeOne runs a single cell with retries and caches its result. The
+// arena (may be nil) recycles simulation substrate across this worker's
+// cells.
+func (e *Engine) executeOne(p *pending, attempts int, arena *experiment.Arena) {
 	//lint:allowwallclock per-cell wall time feeds progress display and throughput reporting only
 	start := time.Now()
 	var rec *Record
 	var err error
 	for p.attempts = 1; p.attempts <= attempts; p.attempts++ {
-		rec, err = p.cell.execute(p.key)
+		rec, err = p.cell.execute(p.key, arena)
 		if err == nil {
 			break
 		}

@@ -60,22 +60,22 @@ func (f *JFloat) UnmarshalJSON(data []byte) error {
 // float64 so +Inf survives the store. Keeping the mirror explicit rather
 // than reflect-converting at runtime keeps the wire format reviewable.
 type resultJSON struct {
-	Sent               int     `json:"sent"`
-	Delivered          int     `json:"delivered"`
-	DeliveryRate       JFloat  `json:"deliveryRate"`
-	MeanLatency        JFloat  `json:"meanLatency"`
-	HopsPerPacket      JFloat  `json:"hopsPerPacket"`
-	MeanRFs            JFloat  `json:"meanRFs"`
-	Participants       int     `json:"participants"`
-	Cumulative         []int   `json:"cumulative,omitempty"`
-	RouteJaccard       JFloat  `json:"routeJaccard"`
-	EnergyJoules       JFloat  `json:"energyJoules"`
-	EnergyPerDelivered JFloat  `json:"energyPerDelivered"`
-	LatencyP50         JFloat  `json:"latencyP50"`
-	LatencyP95         JFloat  `json:"latencyP95"`
-	LatencyP99         JFloat  `json:"latencyP99"`
-	Jitter             JFloat  `json:"jitter"`
-	LoadGini           JFloat  `json:"loadGini"`
+	Sent               int    `json:"sent"`
+	Delivered          int    `json:"delivered"`
+	DeliveryRate       JFloat `json:"deliveryRate"`
+	MeanLatency        JFloat `json:"meanLatency"`
+	HopsPerPacket      JFloat `json:"hopsPerPacket"`
+	MeanRFs            JFloat `json:"meanRFs"`
+	Participants       int    `json:"participants"`
+	Cumulative         []int  `json:"cumulative,omitempty"`
+	RouteJaccard       JFloat `json:"routeJaccard"`
+	EnergyJoules       JFloat `json:"energyJoules"`
+	EnergyPerDelivered JFloat `json:"energyPerDelivered"`
+	LatencyP50         JFloat `json:"latencyP50"`
+	LatencyP95         JFloat `json:"latencyP95"`
+	LatencyP99         JFloat `json:"latencyP99"`
+	Jitter             JFloat `json:"jitter"`
+	LoadGini           JFloat `json:"loadGini"`
 }
 
 // encodeResult converts a simulation result to its wire form.

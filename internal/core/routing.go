@@ -186,34 +186,36 @@ func (p *Protocol) route(at medium.NodeID, env *Envelope) {
 		}
 	}
 
-	pkt := &gpsr.Packet{
-		Dest:      env.TD,
-		DeliverTo: gpsr.NoDeliverTo,
-		Payload:   env,
-		Size:      p.cfg.PacketSize,
-		HopBudget: p.cfg.LegHopBudget,
-		OnOutcome: func(rf medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
-			f := env.flight
-			if f != nil {
-				f.rec.Hops += gp.Hops
-				f.rec.Path = append(f.rec.Path, gp.Path...)
-			} else if env.isReply {
-				replyHopsInto(env, gp.Hops)
-			}
-			switch out {
-			case gpsr.ArrivedClosest:
-				if f != nil && rf != at {
-					f.rec.RFs++
-					if p.tap != nil {
-						p.tap.RFSelected(p.net.Eng.Now(), f.rec.Seq, int(rf))
-					}
+	pkt := p.router.NewPacket()
+	pkt.Dest = env.TD
+	pkt.DeliverTo = gpsr.NoDeliverTo
+	pkt.Payload = env
+	pkt.Size = p.cfg.PacketSize
+	pkt.HopBudget = p.cfg.LegHopBudget
+	pkt.OnOutcome = func(rf medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
+		f := env.flight
+		if f != nil {
+			f.rec.Hops += gp.Hops
+			f.rec.Path = append(f.rec.Path, gp.Path...)
+		} else if env.isReply {
+			replyHopsInto(env, gp.Hops)
+		}
+		// Each leg rides its own frame; this one is finished regardless
+		// of how the leg ended (route() takes a fresh frame per leg).
+		defer p.router.Release(gp)
+		switch out {
+		case gpsr.ArrivedClosest:
+			if f != nil && rf != at {
+				f.rec.RFs++
+				if p.tap != nil {
+					p.tap.RFSelected(p.net.Eng.Now(), f.rec.Seq, int(rf))
 				}
-				p.route(rf, env)
-			default:
-				p.counts.LegDrops++
-				p.failLeg(env)
 			}
-		},
+			p.route(rf, env)
+		default:
+			p.counts.LegDrops++
+			p.failLeg(env)
+		}
 	}
 	if f := env.flight; f != nil {
 		pkt.SetTrace(f.rec.Seq)

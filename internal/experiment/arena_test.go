@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunArenaMatchesRun pins the arena's determinism contract: recycling
+// the engine and the record slab across runs must not perturb results in
+// any way — same scenario, same numbers, run after run, including across
+// protocol switches on the same arena (as a campaign worker does).
+func TestRunArenaMatchesRun(t *testing.T) {
+	scenarios := make([]Scenario, 0, 4)
+	for _, p := range []ProtocolName{ALERT, GPSR, ZAP} {
+		sc := DefaultScenario()
+		sc.Protocol = p
+		sc.N = 60
+		sc.Pairs = 4
+		sc.Duration = 20
+		scenarios = append(scenarios, sc)
+	}
+	// A second ALERT run at another seed: reuse after a different protocol
+	// left its own state shapes behind.
+	sc := scenarios[0]
+	sc.Seed = 7
+	scenarios = append(scenarios, sc)
+
+	want := make([]Result, len(scenarios))
+	for i, sc := range scenarios {
+		r, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	a := NewArena()
+	for round := 0; round < 2; round++ {
+		for i, sc := range scenarios {
+			got, err := RunArena(sc, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("round %d scenario %d (%s seed %d): arena result diverged\n got: %+v\nwant: %+v",
+					round, i, sc.Protocol, sc.Seed, got, want[i])
+			}
+		}
+	}
+}
+
+// TestRunArenaNilDegradesToRun: campaign paths that have no arena must
+// behave exactly like Run.
+func TestRunArenaNilDegradesToRun(t *testing.T) {
+	sc := DefaultScenario()
+	sc.N = 40
+	sc.Pairs = 2
+	sc.Duration = 10
+	want, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunArena(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RunArena(sc, nil) = %+v, want %+v", got, want)
+	}
+}

@@ -285,11 +285,23 @@ func (w *World) EnableTelemetry(tap *telemetry.Tap) {
 // The scenario is validated first; an invalid one returns an error rather
 // than a half-built world.
 func Build(sc Scenario) (*World, error) {
+	return buildArena(sc, nil)
+}
+
+// buildArena is Build with optional substrate reuse: a non-nil arena
+// supplies a recycled engine and backs the collector's packet records with
+// its slab.
+func buildArena(sc Scenario, arena *Arena) (*World, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	src := rng.New(sc.Seed)
-	eng := sim.NewEngine()
+	var eng *sim.Engine
+	if arena != nil {
+		eng = arena.engine()
+	} else {
+		eng = sim.NewEngine()
+	}
 	eng.SetMaxEvents(sc.MaxEvents)
 
 	var mob mobility.Model
@@ -367,6 +379,11 @@ func Build(sc Scenario) (*World, error) {
 		cfg := sc.Zap
 		cfg.PacketSize = sc.PacketSize
 		w.Proto = zap.New(net, loc, cfg, src)
+	}
+	if arena != nil {
+		// Collectors were just created empty; every record this run opens
+		// now comes from the arena's slab.
+		w.Proto.Collector().UseSlab(&arena.recs)
 	}
 	return w, nil
 }

@@ -97,10 +97,11 @@ func RunRemaining(spec RemainingSpec) (RemainingResult, error) {
 	}
 	res := RemainingResult{Sums: make([]float64, len(spec.Times))}
 	pick := src.Split("dests")
+	var initial []int // reused across destination zones
 	for di := 0; di < spec.Dests; di++ {
 		d := pick.Intn(spec.N)
 		zone := geo.DestZone(spec.Field, m.Position(d, 0), spec.H, geo.Vertical)
-		initial := mobility.NodesIn(m, zone, 0)
+		initial = mobility.NodesInInto(m, zone, 0, initial)
 		if len(initial) == 0 {
 			continue
 		}

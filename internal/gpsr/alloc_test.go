@@ -1,0 +1,105 @@
+package gpsr
+
+import (
+	"testing"
+
+	"alertmanet/internal/geo"
+	"alertmanet/internal/medium"
+)
+
+// TestForwardZeroAllocs pins the hot path's core contract: with telemetry
+// disabled, forwarding a packet through the router and the medium's
+// link-layer ARQ allocates nothing. Every structure on the per-hop path —
+// engine events, ARQ send state, neighbor tables, planarization scratch,
+// the frame itself — is pooled or reused, so after a warmup send the
+// allocator never runs again no matter how many packets flow.
+func TestForwardZeroAllocs(t *testing.T) {
+	eng, _, r := netFromModel(lineTopology(12, 200), 1)
+	onOutcome := func(_ medium.NodeID, p *Packet, o Outcome) {
+		if o != Delivered {
+			t.Fatalf("outcome = %v", o)
+		}
+		r.Release(p)
+	}
+	send := func() {
+		pkt := r.NewPacket()
+		pkt.Dest = geo.Point{X: 2200, Y: 500}
+		pkt.DeliverTo = 11
+		pkt.Size = 512
+		pkt.HopBudget = 20
+		pkt.OnOutcome = onOutcome
+		r.Send(0, pkt)
+		eng.Run()
+	}
+	// Warm the pools: frame, engine event freelist, ARQ state, scratch
+	// slices all reach steady-state capacity on the first few sends.
+	for i := 0; i < 3; i++ {
+		send()
+	}
+	if avg := testing.AllocsPerRun(10, send); avg != 0 {
+		t.Fatalf("forwarding an 11-hop packet allocates %.1f times, want 0", avg)
+	}
+}
+
+// TestRecycledFrameDoesNotAliasRecordPath regresses the pool-aliasing
+// hazard: a completed packet's record must keep its own copy of the path,
+// because the frame goes back to the router's pool and its Path backing
+// array is rewritten by the next send. Before the copy-don't-alias fix,
+// rec.Path = pkt.Path shared storage, and packet B's hops would silently
+// overwrite packet A's recorded history.
+func TestRecycledFrameDoesNotAliasRecordPath(t *testing.T) {
+	eng, _, r := netFromModel(lineTopology(10, 200), 5)
+
+	// The pool really does hand the same frame back — the precondition
+	// that makes aliasing dangerous.
+	pA := r.NewPacket()
+	r.Release(pA)
+	if pB := r.NewPacket(); pB != pA {
+		t.Fatal("router pool did not recycle the released frame")
+	}
+	r.Release(pA)
+
+	type recorded struct{ path []medium.NodeID }
+	var recA, recB recorded
+	send := func(src, dst medium.NodeID, into *recorded) {
+		pkt := r.NewPacket()
+		pkt.Dest = geo.Point{X: float64(dst) * 200, Y: 500}
+		pkt.DeliverTo = dst
+		pkt.Size = 512
+		pkt.HopBudget = 20
+		pkt.OnOutcome = func(_ medium.NodeID, p *Packet, o Outcome) {
+			if o != Delivered {
+				t.Fatalf("outcome = %v", o)
+			}
+			// The protocols' copy idiom: never retain p.Path itself.
+			into.path = append(into.path[:0], p.Path...)
+			r.Release(p)
+		}
+		r.Send(src, pkt)
+		eng.Run()
+	}
+
+	send(0, 9, &recA) // path 0..9 on the pooled frame
+	snapshot := append([]medium.NodeID(nil), recA.path...)
+	if len(snapshot) != 10 {
+		t.Fatalf("packet A path = %v, want 10 nodes", snapshot)
+	}
+
+	send(3, 7, &recB) // rides the recycled frame over an overlapping stretch
+
+	if len(recA.path) != len(snapshot) {
+		t.Fatalf("packet A path length changed after B: %v", recA.path)
+	}
+	for i := range snapshot {
+		if recA.path[i] != snapshot[i] {
+			t.Fatalf("packet B leaked into A's recorded path: %v, want %v",
+				recA.path, snapshot)
+		}
+	}
+	if len(recB.path) == 0 || recB.path[0] != 3 || recB.path[len(recB.path)-1] != 7 {
+		t.Fatalf("packet B path = %v", recB.path)
+	}
+	if &recA.path[0] == &recB.path[0] {
+		t.Fatal("records A and B share Path backing storage")
+	}
+}

@@ -77,17 +77,19 @@ func (a *App) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRecord, 
 	if a.cfg.CompleteTimeout > 0 {
 		a.net.Eng.Schedule(a.cfg.CompleteTimeout, func() { finish(0, false) })
 	}
-	pkt := &Packet{
-		Dest:      entry.Pos,
-		DeliverTo: dst,
-		Payload:   data,
-		Size:      a.cfg.PacketSize,
-		HopBudget: a.cfg.HopBudget,
-		OnOutcome: func(_ medium.NodeID, gp *Packet, out Outcome) {
-			rec.Hops = gp.Hops
-			rec.Path = gp.Path
-			finish(a.net.Eng.Now(), out == Delivered)
-		},
+	pkt := a.router.NewPacket()
+	pkt.Dest = entry.Pos
+	pkt.DeliverTo = dst
+	pkt.Payload = data
+	pkt.Size = a.cfg.PacketSize
+	pkt.HopBudget = a.cfg.HopBudget
+	pkt.OnOutcome = func(_ medium.NodeID, gp *Packet, out Outcome) {
+		rec.Hops = gp.Hops
+		// Copy, never alias: the frame is recycled below and its Path
+		// backing array will be rewritten by the next packet.
+		rec.Path = append(rec.Path[:0], gp.Path...)
+		finish(a.net.Eng.Now(), out == Delivered)
+		a.router.Release(gp)
 	}
 	pkt.SetTrace(rec.Seq)
 	a.router.Send(src, pkt)

@@ -95,6 +95,17 @@ type Packet struct {
 	// where it ended (for drops: the last holder).
 	OnOutcome func(at medium.NodeID, pkt *Packet, out Outcome)
 
+	// router is the router currently forwarding the packet; forward sets
+	// it so SendResolved can report a lost hop without a per-hop closure.
+	router *Router
+	// inFlight counts unresolved link-layer sends carrying this frame. A
+	// frame can ride two ARQs at once — hop k's ACK handshake may still be
+	// retrying while the receiver already forwarded hop k+1 — so Release
+	// defers recycling until the count drains.
+	inFlight int
+	// released marks a frame whose owner called Release while sends were
+	// still in flight; the last SendResolved recycles it.
+	released  bool
 	mode      Mode
 	entryDist float64       // distance to Dest when entering perimeter mode
 	prev      medium.NodeID // previous holder (perimeter right-hand rule)
@@ -159,10 +170,74 @@ type Router struct {
 	Planar Planarization
 	// tap, when non-nil, observes sends, forwards, hops and leg endings.
 	tap *telemetry.Tap
+	// nbrScratch and planarScratch are Handle's per-step work buffers,
+	// reused across hops. Safe because the engine is single-threaded and
+	// every forward/finish call sits in tail position: once control leaves
+	// Handle (possibly re-entering it for a chained leg), the previous
+	// frame never touches its scratch again.
+	nbrScratch    []medium.Neighbor
+	planarScratch []medium.Neighbor
+	// freePkts recycles packet frames released by protocol layers.
+	freePkts []*Packet
+	// handleFree recycles deferred-Handle events (HandleAfter).
+	handleFree []*handleEvent
+}
+
+// handleEvent is a pooled deferred Handle call; see HandleAfter.
+type handleEvent struct {
+	r   *Router
+	at  medium.NodeID
+	pkt *Packet
+}
+
+// RunEvent implements sim.Runner. The event recycles itself before
+// dispatching, so a Handle that schedules further deferred hops can reuse
+// it immediately.
+func (h *handleEvent) RunEvent() {
+	r, at, pkt := h.r, h.at, h.pkt
+	h.pkt = nil
+	r.handleFree = append(r.handleFree, h)
+	r.Handle(at, pkt)
 }
 
 // New creates a router for the network.
 func New(net *node.Network) *Router { return &Router{net: net} }
+
+// NewPacket takes a packet frame from the router's pool (or allocates one).
+// The frame comes back zeroed except for Path, which keeps its capacity at
+// length 0, so a warmed-up pool issues frames without allocating.
+func (r *Router) NewPacket() *Packet {
+	if n := len(r.freePkts); n > 0 {
+		p := r.freePkts[n-1]
+		r.freePkts[n-1] = nil
+		r.freePkts = r.freePkts[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// Release returns a finished frame to the pool. Ownership rule: exactly one
+// layer — the protocol that observed the frame's terminal OnOutcome — may
+// release it, and must first copy out anything it keeps. In particular
+// pkt.Path must be copied (append into a record-owned slice), never
+// aliased: the pool truncates the backing array for the next packet, which
+// would silently rewrite an aliased metrics.PacketRecord.Path. If the frame
+// is still riding an unresolved link-layer send (its last hop's ACK
+// handshake, say), recycling is deferred until that send resolves, so the
+// medium's telemetry keeps a valid trace for the remaining ACK traffic.
+func (r *Router) Release(p *Packet) {
+	if p.inFlight > 0 {
+		p.released = true
+		return
+	}
+	r.recycle(p)
+}
+
+func (r *Router) recycle(p *Packet) {
+	path := p.Path[:0]
+	*p = Packet{Path: path}
+	r.freePkts = append(r.freePkts, p)
+}
 
 // SetTap attaches a telemetry tap observing routing decisions. A nil tap
 // (the default) disables routing telemetry.
@@ -227,6 +302,24 @@ func (r *Router) Finish(cur medium.NodeID, pkt *Packet, out Outcome) {
 	r.finish(cur, pkt, out)
 }
 
+// HandleAfter schedules Handle(at, pkt) after delay, as a single engine
+// event but without the closure a bare Schedule would cost. Protocols that
+// charge per-hop crypto time before processing (AO2P's destination-position
+// decryption, ALARM's signature verification) batch the whole charge into
+// this one pooled event.
+func (r *Router) HandleAfter(delay float64, at medium.NodeID, pkt *Packet) {
+	var h *handleEvent
+	if n := len(r.handleFree); n > 0 {
+		h = r.handleFree[n-1]
+		r.handleFree[n-1] = nil
+		r.handleFree = r.handleFree[:n-1]
+	} else {
+		h = new(handleEvent)
+	}
+	h.r, h.at, h.pkt = r, at, pkt
+	r.net.Eng.ScheduleRunner(delay, h)
+}
+
 // Handle processes pkt at node cur: deliver, forward greedily, or walk the
 // perimeter. Protocol demux layers call this when a medium delivery carries
 // a *Packet.
@@ -236,7 +329,8 @@ func (r *Router) Handle(cur medium.NodeID, pkt *Packet) {
 		r.finish(cur, pkt, Delivered)
 		return
 	}
-	nbrs := r.net.Med.Neighbors(cur)
+	r.nbrScratch = r.net.Med.NeighborsInto(cur, r.nbrScratch)
+	nbrs := r.nbrScratch
 	selfPos := r.net.Med.PositionNow(cur)
 	selfDist := selfPos.Dist(pkt.Dest)
 
@@ -294,10 +388,11 @@ func (r *Router) Handle(cur medium.NodeID, pkt *Packet) {
 	// Perimeter forwarding over the planar subgraph.
 	var planar []medium.Neighbor
 	if r.Planar == RelativeNeighborhood {
-		planar = planarizeRNG(selfPos, nbrs)
+		planar = planarizeRNG(r.planarScratch[:0], selfPos, nbrs)
 	} else {
-		planar = planarize(selfPos, nbrs)
+		planar = planarize(r.planarScratch[:0], selfPos, nbrs)
 	}
+	r.planarScratch = planar
 	if len(planar) == 0 {
 		r.finish(cur, pkt, DroppedDeadEnd)
 		return
@@ -339,11 +434,33 @@ func (r *Router) forward(cur, next medium.NodeID, pkt *Packet) {
 		}
 		r.tap.Forward(r.net.Eng.Now(), pkt.TelemetryTrace(), int(cur), int(next), mode)
 	}
-	r.net.Med.UnicastOutcome(cur, next, pkt, pkt.Size, func(out medium.SendOutcome) {
-		if out != medium.SendDelivered {
-			r.finish(cur, pkt, DroppedLink)
-		}
-	})
+	r.UnicastPacket(cur, next, pkt)
+}
+
+// UnicastPacket puts pkt on air from cur to next with the router's
+// closure-free fate reporting: a lost send terminates routing at cur as
+// DroppedLink. forward uses it for every hop; protocol layers whose demux
+// short-circuits the greedy step (AO2P's destination claim) use it directly
+// so even those hops allocate nothing.
+func (r *Router) UnicastPacket(cur, next medium.NodeID, pkt *Packet) {
+	pkt.router = r
+	pkt.prev = cur
+	pkt.inFlight++
+	r.net.Med.UnicastSink(cur, next, pkt, pkt.Size, pkt)
+}
+
+// SendResolved implements medium.OutcomeSink: the one-hop transmission the
+// packet is riding resolved. A failed send terminates routing at the last
+// confirmed holder — pkt.prev, which UnicastPacket set to the sending node.
+func (p *Packet) SendResolved(out medium.SendOutcome) {
+	p.inFlight--
+	if out != medium.SendDelivered {
+		p.router.finish(p.prev, p, DroppedLink)
+		return
+	}
+	if p.released && p.inFlight == 0 {
+		p.router.recycle(p)
+	}
 }
 
 func (r *Router) finish(at medium.NodeID, pkt *Packet, out Outcome) {
@@ -375,7 +492,8 @@ func (r *Router) NextGreedy(from medium.NodeID, dest geo.Point) (medium.NodeID, 
 	selfDist := r.net.Med.PositionNow(from).Dist(dest)
 	best := NoDeliverTo
 	bestDist := selfDist
-	for _, nb := range r.net.Med.Neighbors(from) {
+	r.nbrScratch = r.net.Med.NeighborsInto(from, r.nbrScratch)
+	for _, nb := range r.nbrScratch {
 		if d := nb.Pos.Dist(dest); d < bestDist {
 			best, bestDist = nb.ID, d
 		}
@@ -398,12 +516,12 @@ func (r *Router) AttachAll() {
 	}
 }
 
-// planarize returns the neighbors kept by the Gabriel graph test: neighbor
-// u survives unless some witness w lies inside the circle whose diameter is
-// the segment (self, u). Planarity makes the right-hand walk terminate on
-// faces instead of crossing edges.
-func planarize(self geo.Point, nbrs []medium.Neighbor) []medium.Neighbor {
-	var out []medium.Neighbor
+// planarize appends to dst the neighbors kept by the Gabriel graph test:
+// neighbor u survives unless some witness w lies inside the circle whose
+// diameter is the segment (self, u). Planarity makes the right-hand walk
+// terminate on faces instead of crossing edges.
+func planarize(dst []medium.Neighbor, self geo.Point, nbrs []medium.Neighbor) []medium.Neighbor {
+	out := dst
 	for _, u := range nbrs {
 		mid := geo.Point{X: (self.X + u.Pos.X) / 2, Y: (self.Y + u.Pos.Y) / 2}
 		radius2 := self.Dist2(u.Pos) / 4
@@ -424,13 +542,13 @@ func planarize(self geo.Point, nbrs []medium.Neighbor) []medium.Neighbor {
 	return out
 }
 
-// planarizeRNG returns the neighbors kept by the Relative Neighborhood
-// Graph test: u survives unless some witness w is strictly closer to both
-// endpoints than they are to each other (the "lune" test). RNG is a
-// subgraph of the Gabriel graph — sparser faces, longer perimeter walks —
-// and is the other planarization the original GPSR paper evaluates.
-func planarizeRNG(self geo.Point, nbrs []medium.Neighbor) []medium.Neighbor {
-	var out []medium.Neighbor
+// planarizeRNG appends to dst the neighbors kept by the Relative
+// Neighborhood Graph test: u survives unless some witness w is strictly
+// closer to both endpoints than they are to each other (the "lune" test).
+// RNG is a subgraph of the Gabriel graph — sparser faces, longer perimeter
+// walks — and is the other planarization the original GPSR paper evaluates.
+func planarizeRNG(dst []medium.Neighbor, self geo.Point, nbrs []medium.Neighbor) []medium.Neighbor {
+	out := dst
 	for _, u := range nbrs {
 		d2 := self.Dist2(u.Pos)
 		keep := true

@@ -329,7 +329,7 @@ func TestPlanarizeGabriel(t *testing.T) {
 		{ID: 1, Pos: geo.Point{X: 200, Y: 0}},
 		{ID: 2, Pos: geo.Point{X: 100, Y: 10}},
 	}
-	planar := planarize(self, nbrs)
+	planar := planarize(nil, self, nbrs)
 	for _, nb := range planar {
 		if nb.ID == 1 {
 			t.Fatal("Gabriel test failed to remove covered edge")
@@ -385,7 +385,7 @@ func TestQuickPlanarizeKeepsAnEdge(t *testing.T) {
 			}
 		}
 		self := geo.Point{X: local.Uniform(0, 250), Y: local.Uniform(0, 250)}
-		planar := planarize(self, pts)
+		planar := planarize(nil, self, pts)
 		return len(planar) >= 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
@@ -409,7 +409,7 @@ func TestQuickPlanarizeSubset(t *testing.T) {
 			in[pts[i].ID] = true
 		}
 		self := geo.Point{X: 100, Y: 100}
-		for _, nb := range planarize(self, pts) {
+		for _, nb := range planarize(nil, self, pts) {
 			if !in[nb.ID] {
 				return false
 			}
@@ -461,10 +461,10 @@ func TestPlanarizeRNGSubsetOfGabriel(t *testing.T) {
 			}
 		}
 		gg := map[medium.NodeID]bool{}
-		for _, nb := range planarize(self, nbrs) {
+		for _, nb := range planarize(nil, self, nbrs) {
 			gg[nb.ID] = true
 		}
-		for _, nb := range planarizeRNG(self, nbrs) {
+		for _, nb := range planarizeRNG(nil, self, nbrs) {
 			if !gg[nb.ID] {
 				t.Fatalf("trial %d: RNG kept edge %d that Gabriel removed", trial, nb.ID)
 			}

@@ -1,9 +1,13 @@
 // Package floatcompare defines an analyzer guarding the numeric packages
-// against exact floating-point equality. In internal/geo, internal/metrics
-// and internal/stats an == between floats is almost always a latent bug:
-// zone partition geometry and aggregate statistics feed the paper's figures,
-// and a comparison that holds on one architecture's FMA contraction and
-// fails on another quietly changes results.
+// against exact floating-point equality. In internal/geo, internal/metrics,
+// internal/stats, internal/medium and internal/sim an == between floats is
+// almost always a latent bug: zone partition geometry, aggregate statistics,
+// beacon-clock tick derivation and event scheduling feed the paper's
+// figures, and a comparison that holds on one architecture's FMA contraction
+// and fails on another quietly changes results. (The helloTime tick-boundary
+// bug this repo shipped with — int(now/interval) landing on the previous
+// beacon at exact multiples of 0.3 — is exactly the class of defect this
+// contract exists to surface.)
 package floatcompare
 
 import (
@@ -25,7 +29,13 @@ const Marker = "allowfloatcompare"
 // Packages are the numeric packages the contract covers. Elsewhere float
 // equality is left to reviewers: protocol code compares simulated timestamps
 // that are copied, never recomputed, so exact equality is meaningful there.
-var Packages = []string{"internal/geo", "internal/metrics", "internal/stats"}
+// internal/medium and internal/sim joined the list when the beacon-clock and
+// ticker-drift fixes landed: both bugs were exact-float-arithmetic defects in
+// clock derivation, precisely this analyzer's beat.
+var Packages = []string{
+	"internal/geo", "internal/metrics", "internal/stats",
+	"internal/medium", "internal/sim",
+}
 
 // epsilonHelper matches function names that exist to encapsulate a tolerance
 // comparison; inside them exact comparisons are the implementation.
@@ -34,9 +44,10 @@ var epsilonHelper = regexp.MustCompile(`(?i)(approx|almost|epsilon|nearly)`)
 var Analyzer = &analysis.Analyzer{
 	Name: "floatcompare",
 	Doc: "forbid exact float equality in the numeric packages\n\n" +
-		"In internal/geo, internal/metrics and internal/stats, == and != between\n" +
-		"floating-point operands must go through an epsilon helper (a function whose\n" +
-		"name contains approx/almost/epsilon/nearly). _test.go files are exempt.\n" +
+		"In internal/geo, internal/metrics, internal/stats, internal/medium and\n" +
+		"internal/sim, == and != between floating-point operands must go through an\n" +
+		"epsilon helper (a function whose name contains approx/almost/epsilon/nearly).\n" +
+		"_test.go files are exempt.\n" +
 		"Escape hatch: //lint:allowfloatcompare <reason>.",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,

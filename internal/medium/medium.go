@@ -17,6 +17,7 @@ package medium
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"alertmanet/internal/geo"
 	"alertmanet/internal/mobility"
@@ -179,6 +180,15 @@ type Medium struct {
 	// uniform spatial grid over it, so each Neighbors query touches only
 	// the 3x3 grid cells around the querier instead of every node.
 	beacons beaconCache
+	// nowPos caches a spatial grid over true positions at the current
+	// engine instant, shared by zone queries issued at the same time.
+	nowPos   posGrid
+	nowAt    float64
+	nowValid bool
+	// arqFree and bcastFree recycle send state machines; a steady-state
+	// unicast or broadcast allocates nothing.
+	arqFree   []*arqSend
+	bcastFree []*bcastSend
 	// txByNode counts transmissions per node (load-balance metrics).
 	txByNode []uint64
 	// tap, when non-nil, observes every frame/ACK transmission, reception
@@ -186,48 +196,73 @@ type Medium struct {
 	tap *telemetry.Tap
 }
 
-// beaconCache is one hello tick's position snapshot bucketed into cells of
-// side Range.
-type beaconCache struct {
-	tick  float64
-	valid bool
-	pos   []geo.Point
-	cell  float64
-	grid  map[[2]int][]NodeID
+// posGrid is a position snapshot bucketed into a uniform spatial grid.
+// Buckets hold node ids in ascending order (rebuild inserts ids 0..n-1), so
+// any fixed cell-visit order yields a deterministic node order. The grid is
+// rebuilt in place: bucket slices are truncated and refilled rather than
+// reallocated, so steady-state rebuilds allocate nothing once the map and
+// buckets have reached their high-water capacity.
+type posGrid struct {
+	pos  []geo.Point
+	cell float64
+	grid map[[2]int][]NodeID
+	// live lists the keys of currently non-empty buckets, so rebuild can
+	// truncate exactly the buckets the previous snapshot populated.
+	live [][2]int
+	// lo and hi bound the live keys (for bounded ring searches).
+	lo, hi [2]int
 }
 
-func (b *beaconCache) build(m *Medium, tick float64) {
-	n := m.mob.N()
-	if b.pos == nil {
-		b.pos = make([]geo.Point, n)
+func (g *posGrid) rebuild(mob mobility.Model, at, cell float64) {
+	n := mob.N()
+	if g.pos == nil {
+		g.pos = make([]geo.Point, n)
 	}
-	b.tick = tick
-	b.valid = true
-	b.cell = m.par.Range
-	b.grid = make(map[[2]int][]NodeID, n)
+	if g.grid == nil {
+		g.grid = make(map[[2]int][]NodeID, n)
+	}
+	for _, k := range g.live {
+		g.grid[k] = g.grid[k][:0]
+	}
+	g.live = g.live[:0]
+	g.cell = cell
 	for id := 0; id < n; id++ {
-		p := m.mob.Position(id, tick)
-		b.pos[id] = p
-		key := b.key(p)
-		b.grid[key] = append(b.grid[key], NodeID(id))
-	}
-}
-
-func (b *beaconCache) key(p geo.Point) [2]int {
-	return [2]int{int(math.Floor(p.X / b.cell)), int(math.Floor(p.Y / b.cell))}
-}
-
-// around calls fn for every node in the 3x3 cell block that covers all
-// candidates within one Range of p.
-func (b *beaconCache) around(p geo.Point, fn func(NodeID, geo.Point)) {
-	k := b.key(p)
-	for dx := -1; dx <= 1; dx++ {
-		for dy := -1; dy <= 1; dy++ {
-			for _, id := range b.grid[[2]int{k[0] + dx, k[1] + dy}] {
-				fn(id, b.pos[id])
+		p := mob.Position(id, at)
+		g.pos[id] = p
+		key := g.key(p)
+		bucket := g.grid[key]
+		if len(bucket) == 0 {
+			g.live = append(g.live, key)
+			if len(g.live) == 1 {
+				g.lo, g.hi = key, key
+			} else {
+				g.lo[0] = min(g.lo[0], key[0])
+				g.lo[1] = min(g.lo[1], key[1])
+				g.hi[0] = max(g.hi[0], key[0])
+				g.hi[1] = max(g.hi[1], key[1])
 			}
 		}
+		g.grid[key] = append(bucket, NodeID(id))
 	}
+}
+
+func (g *posGrid) key(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// beaconCache is one hello tick's position snapshot bucketed into cells of
+// side Range. The tick is the integer beacon index, so cache-hit detection
+// is an exact integer compare rather than a float one.
+type beaconCache struct {
+	tick  int
+	valid bool
+	posGrid
+}
+
+func (b *beaconCache) build(m *Medium, tick int) {
+	b.tick = tick
+	b.valid = true
+	b.rebuild(m.mob, float64(tick)*m.par.HelloInterval, m.par.Range)
 }
 
 // New creates a medium over the given mobility model. Non-positive radio
@@ -377,6 +412,14 @@ func (m *Medium) Unicast(from, to NodeID, payload any, size int) float64 {
 	return m.UnicastOutcome(from, to, payload, size, nil)
 }
 
+// OutcomeSink receives a unicast send's terminal fate: the pre-allocated
+// counterpart of UnicastOutcome's done callback. Hot-path senders (the
+// router's forward) implement it on the in-flight packet itself so
+// reporting a hop's fate costs no closure allocation.
+type OutcomeSink interface {
+	SendResolved(out SendOutcome)
+}
+
 // UnicastOutcome transmits payload from one node to another and reports the
 // send's terminal fate to done (which may be nil). Delivery succeeds if the
 // receiver is within Range when a data-frame transmission completes and the
@@ -389,17 +432,57 @@ func (m *Medium) Unicast(from, to NodeID, payload any, size int) float64 {
 // scheduled first-attempt delivery time.
 func (m *Medium) UnicastOutcome(from, to NodeID, payload any, size int, done func(SendOutcome)) float64 {
 	m.counters.UnicastsSent++
-	s := &arqSend{m: m, from: from, to: to, payload: payload, size: size, done: done}
+	s := m.newArq(from, to, payload, size)
+	s.done = done
 	return s.attempt()
 }
 
-// arqSend is one logical unicast send working through its retry budget.
+// UnicastSink is UnicastOutcome with a pre-allocated OutcomeSink in place of
+// the done closure; the allocation-free variant for per-hop forwarding.
+func (m *Medium) UnicastSink(from, to NodeID, payload any, size int, sink OutcomeSink) float64 {
+	m.counters.UnicastsSent++
+	s := m.newArq(from, to, payload, size)
+	s.sink = sink
+	return s.attempt()
+}
+
+// newArq takes a send state machine from the pool (or allocates the pool's
+// next entry) and initializes it for a fresh send.
+func (m *Medium) newArq(from, to NodeID, payload any, size int) *arqSend {
+	var s *arqSend
+	if n := len(m.arqFree); n > 0 {
+		s = m.arqFree[n-1]
+		m.arqFree[n-1] = nil
+		m.arqFree = m.arqFree[:n-1]
+	} else {
+		s = new(arqSend)
+	}
+	*s = arqSend{m: m, from: from, to: to, payload: payload, size: size}
+	return s
+}
+
+// arqSend phases name the single event each send has in flight at any
+// moment; RunEvent dispatches on the phase set when the event was scheduled.
+const (
+	arqPhaseArrive uint8 = iota // data frame reaching the receiver
+	arqPhaseAck                 // ACK frame reaching the sender
+	arqPhaseRetry               // backoff expiring into a retransmission
+)
+
+// arqSend is one logical unicast send working through its retry budget. It
+// is a strictly sequential state machine — at most one scheduled event
+// references it at any time, and none after it resolves — which is what
+// makes pooling it safe: resolve() returns it to the medium's pool after
+// the fate callback fires, and the next Unicast reuses it.
 type arqSend struct {
 	m        *Medium
 	from, to NodeID
 	payload  any
 	size     int
 	done     func(SendOutcome)
+	sink     OutcomeSink
+	// phase selects the RunEvent body for the one event in flight.
+	phase uint8
 	// attempts counts data-frame transmissions performed (first = 1).
 	attempts int
 	// delivered is set once the data frame reaches the handler; later
@@ -410,6 +493,18 @@ type arqSend struct {
 	resolved bool
 }
 
+// RunEvent implements sim.Runner.
+func (s *arqSend) RunEvent() {
+	switch s.phase {
+	case arqPhaseArrive:
+		s.arrive()
+	case arqPhaseAck:
+		s.ackArrive()
+	default:
+		s.attempt()
+	}
+}
+
 func (s *arqSend) resolve(out SendOutcome) {
 	if s.resolved {
 		return
@@ -418,6 +513,16 @@ func (s *arqSend) resolve(out SendOutcome) {
 	if s.done != nil {
 		s.done(out)
 	}
+	if s.sink != nil {
+		s.sink.SendResolved(out)
+	}
+	// Resolved means no scheduled event references this machine anymore;
+	// recycle it. References are dropped so payloads can be collected.
+	m := s.m
+	s.payload = nil
+	s.done = nil
+	s.sink = nil
+	m.arqFree = append(m.arqFree, s)
 }
 
 // attempt transmits the data frame once and schedules its delivery; returns
@@ -447,7 +552,8 @@ func (s *arqSend) attempt() float64 {
 		m.tap.FrameTx(m.eng.Now(), int(s.from), int(s.to), telemetry.TraceOf(s.payload), s.size, s.attempts)
 	}
 	at := m.eng.Now() + m.txDelay(s.size)
-	m.eng.At(at, s.arrive)
+	s.phase = arqPhaseArrive
+	m.eng.AtRunner(at, s)
 	return at
 }
 
@@ -517,21 +623,26 @@ func (s *arqSend) sendAck() {
 	if m.tap != nil {
 		m.tap.AckTx(m.eng.Now(), int(s.to), int(s.from), telemetry.TraceOf(s.payload))
 	}
-	m.eng.At(m.eng.Now()+m.txDelay(m.par.AckSize), func() {
-		now := m.eng.Now()
-		pt := m.mob.Position(int(s.to), now)
-		pf := m.mob.Position(int(s.from), now)
-		if pt.Dist(pf) > m.par.Range || m.src.Bernoulli(m.par.LossRate) {
-			m.counters.AcksLost++
-			if m.tap != nil {
-				m.tap.AckLost(now, int(s.to), int(s.from), telemetry.TraceOf(s.payload))
-			}
-			s.retryOrFail()
-			return
+	s.phase = arqPhaseAck
+	m.eng.AtRunner(m.eng.Now()+m.txDelay(m.par.AckSize), s)
+}
+
+// ackArrive is the ACK frame reaching (or missing) the original sender.
+func (s *arqSend) ackArrive() {
+	m := s.m
+	now := m.eng.Now()
+	pt := m.mob.Position(int(s.to), now)
+	pf := m.mob.Position(int(s.from), now)
+	if pt.Dist(pf) > m.par.Range || m.src.Bernoulli(m.par.LossRate) {
+		m.counters.AcksLost++
+		if m.tap != nil {
+			m.tap.AckLost(now, int(s.to), int(s.from), telemetry.TraceOf(s.payload))
 		}
-		m.counters.RxBytes += uint64(m.par.AckSize)
-		s.resolve(SendDelivered)
-	})
+		s.retryOrFail()
+		return
+	}
+	m.counters.RxBytes += uint64(m.par.AckSize)
+	s.resolve(SendDelivered)
 }
 
 // retryOrFail schedules the next retransmission with exponential backoff,
@@ -550,7 +661,8 @@ func (s *arqSend) retryOrFail() {
 		return
 	}
 	backoff := m.par.RetryBackoff * math.Pow(2, float64(s.attempts-1))
-	m.eng.Schedule(backoff, func() { s.attempt() })
+	s.phase = arqPhaseRetry
+	m.eng.ScheduleRunner(backoff, s)
 }
 
 // Broadcast transmits payload to every node within Range of the sender at
@@ -571,49 +683,93 @@ func (m *Medium) Broadcast(from NodeID, payload any, size int) float64 {
 		m.tap.BroadcastTx(m.eng.Now(), int(from), telemetry.TraceOf(payload), size)
 	}
 	at := m.eng.Now() + m.txDelay(size)
-	m.eng.At(at, func() {
-		now := m.eng.Now()
-		pf := m.mob.Position(int(from), now)
-		for id := range m.handlers {
-			if NodeID(id) == from {
-				continue
-			}
-			pt := m.mob.Position(id, now)
-			if pf.Dist(pt) > m.par.Range {
-				// Out-of-range receivers of a broadcast are physics, not
-				// loss: emitting one event per distant node would add
-				// ~N lines per broadcast with no diagnostic value, so
-				// the tap deliberately stays silent here.
-				m.counters.DroppedRange++
-				continue
-			}
-			if m.src.Bernoulli(m.par.LossRate) {
-				m.counters.DroppedLoss++
-				if m.tap != nil {
-					m.tap.FrameLost(now, int(from), id, telemetry.TraceOf(payload), "loss")
-				}
-				continue
-			}
-			m.counters.Delivered++
-			m.counters.RxBytes += uint64(size)
-			if m.tap != nil {
-				m.tap.FrameRx(now, int(from), id, telemetry.TraceOf(payload), size)
-			}
-			m.notifyRecv(from, NodeID(id), payload, size)
-			if h := m.handlers[id]; h != nil {
-				h(from, payload, size)
-			}
-		}
-	})
+	var b *bcastSend
+	if n := len(m.bcastFree); n > 0 {
+		b = m.bcastFree[n-1]
+		m.bcastFree[n-1] = nil
+		m.bcastFree = m.bcastFree[:n-1]
+	} else {
+		b = new(bcastSend)
+	}
+	*b = bcastSend{m: m, from: from, payload: payload, size: size}
+	m.eng.AtRunner(at, b)
 	return at
+}
+
+// bcastSend is one broadcast's scheduled delivery, pooled like arqSend. A
+// broadcast has exactly one event (the delivery sweep), so the machine
+// recycles itself when RunEvent finishes.
+type bcastSend struct {
+	m       *Medium
+	from    NodeID
+	payload any
+	size    int
+}
+
+// RunEvent implements sim.Runner: the frame reaches every node in range.
+func (b *bcastSend) RunEvent() {
+	m := b.m
+	from, payload, size := b.from, b.payload, b.size
+	now := m.eng.Now()
+	pf := m.mob.Position(int(from), now)
+	for id := range m.handlers {
+		if NodeID(id) == from {
+			continue
+		}
+		pt := m.mob.Position(id, now)
+		if pf.Dist(pt) > m.par.Range {
+			// Out-of-range receivers of a broadcast are physics, not
+			// loss: emitting one event per distant node would add
+			// ~N lines per broadcast with no diagnostic value, so
+			// the tap deliberately stays silent here.
+			m.counters.DroppedRange++
+			continue
+		}
+		if m.src.Bernoulli(m.par.LossRate) {
+			m.counters.DroppedLoss++
+			if m.tap != nil {
+				m.tap.FrameLost(now, int(from), id, telemetry.TraceOf(payload), "loss")
+			}
+			continue
+		}
+		m.counters.Delivered++
+		m.counters.RxBytes += uint64(size)
+		if m.tap != nil {
+			m.tap.FrameRx(now, int(from), id, telemetry.TraceOf(payload), size)
+		}
+		m.notifyRecv(from, NodeID(id), payload, size)
+		if h := m.handlers[id]; h != nil {
+			h(from, payload, size)
+		}
+	}
+	b.payload = nil
+	m.bcastFree = append(m.bcastFree, b)
+}
+
+// helloTick returns the index of the most recent hello beacon: the largest
+// k such that the k-th beacon instant float64(k)*HelloInterval is <= now.
+// A bare int(now/HelloInterval) is wrong at exact beacon instants — for
+// awkward intervals like 0.3 s the division can round just below the tick
+// index (e.g. fl(0.9)/fl(0.3) < 3), leaving the neighbor table one full
+// tick stale right at the boundary — so the quotient is corrected against
+// the same k*interval product the beacon timestamps are derived from.
+func (m *Medium) helloTick() int {
+	now := m.eng.Now()
+	h := m.par.HelloInterval
+	k := int(now / h)
+	for float64(k+1)*h <= now {
+		k++
+	}
+	for k > 0 && float64(k)*h > now {
+		k--
+	}
+	return k
 }
 
 // helloTime returns the timestamp of the most recent hello beacon: neighbor
 // tables reflect positions as of this instant.
 func (m *Medium) helloTime() float64 {
-	now := m.eng.Now()
-	ticks := float64(int(now / m.par.HelloInterval))
-	return ticks * m.par.HelloInterval
+	return float64(m.helloTick()) * m.par.HelloInterval
 }
 
 // Neighbor is one neighbor-table entry: the neighbor id and its position as
@@ -629,20 +785,38 @@ type Neighbor struct {
 // tables pair two beacon snapshots. Queries within one tick share a cached
 // position snapshot and spatial grid.
 func (m *Medium) Neighbors(id NodeID) []Neighbor {
-	t := m.helloTime()
-	if !m.beacons.valid || m.beacons.tick != t {
-		m.beacons.build(m, t)
+	return m.NeighborsInto(id, nil)
+}
+
+// NeighborsInto is Neighbors with a caller-reusable destination: entries are
+// appended to dst[:0] and the (possibly regrown) slice returned, so a caller
+// that recycles the returned slice queries its neighbor table without
+// allocating. The result is only valid until the caller's next NeighborsInto
+// with the same destination.
+func (m *Medium) NeighborsInto(id NodeID, dst []Neighbor) []Neighbor {
+	tick := m.helloTick()
+	if !m.beacons.valid || m.beacons.tick != tick {
+		m.beacons.build(m, tick)
 	}
 	self := m.beacons.pos[id]
-	var out []Neighbor
-	m.beacons.around(self, func(other NodeID, p geo.Point) {
-		if other == id {
-			return
+	out := dst[:0]
+	// Scan the 3x3 cell block covering every candidate within one Range of
+	// self; fixed cell order plus ascending ids within buckets keeps the
+	// neighbor order deterministic.
+	k := m.beacons.key(self)
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, other := range m.beacons.grid[[2]int{k[0] + dx, k[1] + dy}] {
+				if other == id {
+					continue
+				}
+				p := m.beacons.pos[other]
+				if self.Dist(p) <= m.par.Range {
+					out = append(out, Neighbor{ID: other, Pos: p})
+				}
+			}
 		}
-		if self.Dist(p) <= m.par.Range {
-			out = append(out, Neighbor{ID: other, Pos: p})
-		}
-	})
+	}
 	return out
 }
 
@@ -652,22 +826,105 @@ func (m *Medium) TruePosition(id NodeID, t float64) geo.Point {
 	return m.mob.Position(int(id), t)
 }
 
-// NodesWithin returns all node ids whose true current position lies in zone.
-func (m *Medium) NodesWithin(zone geo.Rect) []NodeID {
+// nowGrid returns the spatial grid over true positions at the current
+// instant, rebuilding it only when the clock has advanced since the last
+// zone query. Zonecast and destination-zone scans within one event instant
+// (a packet's zone partitioning fans out several queries at the same time)
+// share one snapshot instead of re-scanning every node per call.
+func (m *Medium) nowGrid() *posGrid {
 	now := m.eng.Now()
-	var out []NodeID
-	for id := 0; id < m.mob.N(); id++ {
-		if zone.Contains(m.mob.Position(id, now)) {
-			out = append(out, NodeID(id))
+	//lint:allowfloatcompare the cache key is the exact engine clock instant; any clock advance must invalidate
+	if !m.nowValid || m.nowAt != now {
+		m.nowPos.rebuild(m.mob, now, m.par.Range)
+		m.nowAt = now
+		m.nowValid = true
+	}
+	return &m.nowPos
+}
+
+// NodesWithin returns all node ids whose true current position lies in zone,
+// in ascending id order.
+func (m *Medium) NodesWithin(zone geo.Rect) []NodeID {
+	return m.NodesWithinInto(zone, nil)
+}
+
+// NodesWithinInto is NodesWithin with a caller-reusable destination: ids are
+// appended to dst[:0] and the (possibly regrown) slice returned. Only grid
+// cells overlapping the zone are visited.
+func (m *Medium) NodesWithinInto(zone geo.Rect, dst []NodeID) []NodeID {
+	g := m.nowGrid()
+	out := dst[:0]
+	lo, hi := g.key(zone.Min), g.key(zone.Max)
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			for _, id := range g.grid[[2]int{cx, cy}] {
+				if zone.Contains(g.pos[id]) {
+					out = append(out, id)
+				}
+			}
 		}
 	}
+	// Cells are visited column-major, so ids arrive grouped by cell; the
+	// contract (and the previous O(N) scan) is ascending id order.
+	slices.Sort(out)
 	return out
 }
 
 // ClosestToPoint returns the node closest to p right now and its distance.
+// Ties break to the lowest id, matching mobility.Nearest. The search walks
+// grid rings outward from p's cell and stops once every unvisited cell is
+// provably farther than the best candidate.
 func (m *Medium) ClosestToPoint(p geo.Point) (NodeID, float64) {
-	id, d := mobility.Nearest(m.mob, p, m.eng.Now())
-	return NodeID(id), d
+	g := m.nowGrid()
+	if len(g.pos) == 0 {
+		return -1, 1e300
+	}
+	best := NodeID(-1)
+	bestD2 := 1e300
+	ck := g.key(p)
+	// maxR bounds the ring walk by the farthest populated cell.
+	maxR := 0
+	for _, c := range [4][2]int{g.lo, g.hi, {g.lo[0], g.hi[1]}, {g.hi[0], g.lo[1]}} {
+		r := max(abs(c[0]-ck[0]), abs(c[1]-ck[1]))
+		maxR = max(maxR, r)
+	}
+	scan := func(key [2]int) {
+		for _, id := range g.grid[key] {
+			d2 := g.pos[id].Dist2(p)
+			//lint:allowfloatcompare exact-distance ties must break to the lowest id regardless of cell visit order, matching the linear scan
+			if d2 < bestD2 || (d2 == bestD2 && id < best) {
+				best, bestD2 = id, d2
+			}
+		}
+	}
+	for r := 0; r <= maxR; r++ {
+		if r == 0 {
+			scan(ck)
+		} else {
+			for dx := -r; dx <= r; dx++ {
+				scan([2]int{ck[0] + dx, ck[1] - r})
+				scan([2]int{ck[0] + dx, ck[1] + r})
+			}
+			for dy := -r + 1; dy <= r-1; dy++ {
+				scan([2]int{ck[0] - r, ck[1] + dy})
+				scan([2]int{ck[0] + r, ck[1] + dy})
+			}
+		}
+		// A node in an unvisited ring d > r is at least r*cell from p; the
+		// stop must be strict so an equal-distance lower-id candidate one
+		// ring out still gets scanned (and wins the tie).
+		if best >= 0 && math.Sqrt(bestD2) < float64(r)*g.cell {
+			break
+		}
+	}
+	return best, g.pos[best].Dist(p)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // Engine exposes the simulation engine (protocols schedule timers on it).

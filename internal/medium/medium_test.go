@@ -232,6 +232,63 @@ func TestNeighborStaleness(t *testing.T) {
 	eng.Run()
 }
 
+// movingModel moves each node linearly from a start point, for tests that
+// need positions to change between beacon ticks.
+type movingModel struct {
+	start []geo.Point
+	vel   []geo.Point
+}
+
+func (m *movingModel) Position(id int, t float64) geo.Point {
+	return geo.Point{
+		X: m.start[id].X + m.vel[id].X*t,
+		Y: m.start[id].Y + m.vel[id].Y*t,
+	}
+}
+func (m *movingModel) N() int          { return len(m.start) }
+func (m *movingModel) Field() geo.Rect { return field }
+
+// TestNeighborsExactBeaconInstant regresses the helloTime tick-boundary bug:
+// with an awkward HelloInterval like 0.3 s, querying Neighbors at the exact
+// beacon instant float64(k)*interval used to land on tick k-1 whenever
+// fl(fl(k*h)/fl(h)) rounds below k — at h=0.3 the first such tick is k=31,
+// where int(now/h) yields 30 — serving positions a whole beacon stale. The
+// query at t = 31*0.3 must see tick-31 positions: node 2 drifts out of radio
+// range between tick 30 (t=9.0, 248.5 m) and tick 31 (t=9.3, 253.45 m), so
+// its membership tells the ticks apart.
+func TestNeighborsExactBeaconInstant(t *testing.T) {
+	par := DefaultParams()
+	par.HelloInterval = 0.3
+	h := par.HelloInterval
+	mob := &movingModel{
+		start: []geo.Point{{X: 500, Y: 500}, {X: 600, Y: 500}, {X: 500, Y: 600}},
+		vel:   []geo.Point{{}, {X: 10, Y: 0}, {X: 0, Y: 16.5}},
+	}
+	eng := sim.NewEngine()
+	med := MustNew(eng, mob, par, rng.New(3))
+	at := float64(31) * h // runtime arithmetic: int(at/h) == 30, not 31
+	eng.At(at, func() {
+		nb := med.Neighbors(0)
+		ids := map[NodeID]geo.Point{}
+		for _, n := range nb {
+			ids[n.ID] = n.Pos
+		}
+		if _, in := ids[2]; in {
+			t.Errorf("node 2 still a neighbor at t=%v: beacon tick served stale (tick-30) positions", at)
+		}
+		pos, in := ids[1]
+		if !in {
+			t.Fatalf("node 1 missing from neighbors at t=%v", at)
+		}
+		// The query instant IS beacon tick 31, so the advertised position
+		// must be the position at exactly this instant — not tick 30's.
+		if want := mob.Position(1, at); pos != want {
+			t.Errorf("node 1 advertised %v, want tick-31 position %v", pos, want)
+		}
+	})
+	eng.Run()
+}
+
 func TestNodesWithinAndClosest(t *testing.T) {
 	mob := newFixed(
 		geo.Point{X: 100, Y: 100},

@@ -63,7 +63,49 @@ type Collector struct {
 	// zero for undelivered packets).
 	tap *telemetry.Tap
 	now func() float64
+	// slab, when non-nil, supplies the records Start opens instead of the
+	// heap — reused across runs by the campaign's per-worker arenas.
+	slab *RecordSlab
 }
+
+// slabBlockSize records per block: large enough that a typical run touches
+// one or two blocks, small enough that capacity growth stays incremental.
+const slabBlockSize = 512
+
+// RecordSlab is a block allocator for PacketRecords, reusable across runs.
+// Records handed out by get stay valid until Reset; the owner must not
+// Reset while any previous run's records are still referenced. Each reused
+// record keeps its Path backing array, so steady-state reuse allocates
+// nothing.
+type RecordSlab struct {
+	blocks      [][]PacketRecord
+	block, next int
+}
+
+// get returns a zeroed record, reusing storage from earlier runs.
+func (s *RecordSlab) get() *PacketRecord {
+	if s.block == len(s.blocks) {
+		s.blocks = append(s.blocks, make([]PacketRecord, slabBlockSize))
+	}
+	r := &s.blocks[s.block][s.next]
+	s.next++
+	if s.next == slabBlockSize {
+		s.block++
+		s.next = 0
+	}
+	path := r.Path[:0]
+	*r = PacketRecord{Path: path}
+	return r
+}
+
+// Reset rewinds the slab so the next get reuses the first record again.
+// Every record previously handed out becomes invalid.
+func (s *RecordSlab) Reset() { s.block, s.next = 0, 0 }
+
+// UseSlab draws all subsequently started records from s instead of the
+// heap. The collector does not own the slab; the caller coordinates Reset
+// with the records' lifetime.
+func (c *Collector) UseSlab(s *RecordSlab) { c.slab = s }
 
 // SetTap attaches a telemetry tap observing packet starts and completions.
 // now supplies the current simulated time for completion events. A nil tap
@@ -80,7 +122,13 @@ func NewCollector() *Collector {
 
 // Start opens a record for a new application packet.
 func (c *Collector) Start(src, dst medium.NodeID, now float64) *PacketRecord {
-	r := &PacketRecord{Seq: len(c.records), Src: src, Dst: dst, SentAt: now}
+	var r *PacketRecord
+	if c.slab != nil {
+		r = c.slab.get()
+	} else {
+		r = &PacketRecord{}
+	}
+	r.Seq, r.Src, r.Dst, r.SentAt = len(c.records), src, dst, now
 	c.records = append(c.records, r)
 	if c.tap != nil {
 		c.tap.PacketSent(now, r.Seq, int(src), int(dst))

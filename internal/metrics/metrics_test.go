@@ -149,3 +149,64 @@ func TestRecordsAccessor(t *testing.T) {
 		t.Fatal("Sent wrong")
 	}
 }
+
+// TestRecordSlabReuse pins the slab contract: records come back zeroed but
+// keep their Path backing array across Reset, a slab-backed collector
+// behaves exactly like a heap-backed one, and steady-state reuse after the
+// first run allocates nothing.
+func TestRecordSlabReuse(t *testing.T) {
+	var slab RecordSlab
+	c := NewCollector()
+	c.UseSlab(&slab)
+
+	r := c.Start(1, 2, 0.5)
+	if r.Done() {
+		t.Fatal("fresh record already done")
+	}
+	r.Path = append(r.Path, 1, 7, 2)
+	r.Hops = 3
+	c.AddPath(r.Path)
+	c.Complete(r, 1.5, true)
+	if !r.Done() || c.Unfinished() != 0 {
+		t.Fatalf("done=%v unfinished=%d", r.Done(), c.Unfinished())
+	}
+	if c.Participants() != 3 { // AddPath counted endpoints; Complete only node 7
+		t.Fatalf("participants = %d", c.Participants())
+	}
+	firstPath := &r.Path[0]
+
+	// A second run on the reset slab gets the same record storage back,
+	// zeroed, with the Path backing array retained.
+	slab.Reset()
+	c2 := NewCollector()
+	c2.UseSlab(&slab)
+	r2 := c2.Start(8, 9, 2.0)
+	if r2 != r {
+		t.Fatal("reset slab did not reuse the first record")
+	}
+	if r2.Done() || r2.Delivered || r2.Hops != 0 || len(r2.Path) != 0 {
+		t.Fatalf("reused record not zeroed: %+v", r2)
+	}
+	if r2.Src != 8 || r2.Dst != 9 || r2.SentAt != 2.0 || r2.Seq != 0 {
+		t.Fatalf("reused record fields wrong: %+v", r2)
+	}
+	r2.Path = append(r2.Path, 8)
+	if &r2.Path[0] != firstPath {
+		t.Fatal("reused record did not keep its Path backing array")
+	}
+
+	// Steady state: a full warmed block reused across resets allocates 0.
+	slab.Reset()
+	for i := 0; i < slabBlockSize+1; i++ { // warm two blocks
+		slab.get()
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		slab.Reset()
+		for i := 0; i < slabBlockSize+1; i++ {
+			slab.get()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed slab allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -260,7 +260,15 @@ func (g *GroupMobility) GroupOf(id int) int { return g.groupOf[id] }
 
 // NodesIn returns the ids of all nodes of m located inside zone at time t.
 func NodesIn(m Model, zone geo.Rect, t float64) []int {
-	var ids []int
+	return NodesInInto(m, zone, t, nil)
+}
+
+// NodesInInto is NodesIn with a caller-reusable destination: ids are
+// appended to dst[:0] and the (possibly regrown) slice is returned, so a
+// loop over many zones reuses one backing array instead of regrowing a
+// fresh slice per query.
+func NodesInInto(m Model, zone geo.Rect, t float64, dst []int) []int {
+	ids := dst[:0]
 	for id := 0; id < m.N(); id++ {
 		if zone.Contains(m.Position(id, t)) {
 			ids = append(ids, id)

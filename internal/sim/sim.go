@@ -21,11 +21,20 @@ type Time = float64
 // EventID identifies a scheduled event so it can be cancelled.
 type EventID uint64
 
+// Runner is a pre-allocated alternative to a func() event body: an event
+// scheduled with AtRunner calls RunEvent on fire. Hot-path callers (the
+// medium's ARQ, router forwarding) implement it on pooled state machines so
+// scheduling a hop costs no closure allocation.
+type Runner interface {
+	RunEvent()
+}
+
 type event struct {
 	at   Time
 	seq  uint64 // FIFO tie-break for simultaneous events
 	id   EventID
 	fn   func()
+	run  Runner // non-nil takes precedence over fn
 	dead bool
 	idx  int // index in the heap, for cancellation
 }
@@ -34,6 +43,7 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:allowfloatcompare heap ordering on stored timestamps: values are copied, never recomputed, and ties must fall through to the FIFO seq tie-break exactly
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
@@ -75,6 +85,9 @@ type Engine struct {
 	maxEvents uint64
 	// tap, when non-nil, observes every schedule/fire/cancel.
 	tap *telemetry.Tap
+	// free recycles fired and cancelled event structs; steady-state
+	// scheduling allocates nothing once the pool has warmed up.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -84,6 +97,25 @@ func NewEngine() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// Reset returns the engine to the NewEngine state — clock at 0, no pending
+// events, no tap, no budget — while keeping its allocated capacity (heap
+// backing array, id map, event free pool). Campaign workers reuse one
+// engine across seeds so successive runs stop paying the warm-up
+// allocations of a fresh engine.
+func (e *Engine) Reset() {
+	for _, ev := range e.pending {
+		e.recycle(ev)
+	}
+	e.pending = e.pending[:0]
+	clear(e.byID)
+	e.now = 0
+	e.seq = 0
+	e.nextID = 0
+	e.processed = 0
+	e.maxEvents = 0
+	e.tap = nil
+}
 
 // Pending returns the number of scheduled, uncancelled events.
 func (e *Engine) Pending() int { return len(e.byID) }
@@ -130,19 +162,57 @@ func (e *Engine) Schedule(delay Time, fn func()) EventID {
 
 // At runs fn at the absolute time t (>= Now).
 func (e *Engine) At(t Time, fn func()) EventID {
+	return e.schedule(t, fn, nil)
+}
+
+// ScheduleRunner runs r after the given delay (>= 0), like Schedule but
+// without a closure: the event struct comes from the engine's free pool and
+// the body is a pre-allocated Runner, so the call is allocation-free in
+// steady state.
+func (e *Engine) ScheduleRunner(delay Time, r Runner) EventID {
+	if delay < 0 || math.IsNaN(delay) {
+		//lint:allowpanic scheduling into the past is always a protocol-logic bug; no caller can meaningfully recover mid-event
+		panic(fmt.Sprintf("sim: schedule with invalid delay %v at t=%v", delay, e.now))
+	}
+	return e.AtRunner(e.now+delay, r)
+}
+
+// AtRunner runs r at the absolute time t (>= Now); the Runner counterpart
+// of At.
+func (e *Engine) AtRunner(t Time, r Runner) EventID {
+	return e.schedule(t, nil, r)
+}
+
+func (e *Engine) schedule(t Time, fn func(), r Runner) EventID {
 	if t < e.now {
 		//lint:allowpanic scheduling into the past is always a protocol-logic bug; no caller can meaningfully recover mid-event
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
 	e.nextID++
-	ev := &event{at: t, seq: e.seq, id: e.nextID, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{at: t, seq: e.seq, id: e.nextID, fn: fn, run: r}
+	} else {
+		ev = &event{at: t, seq: e.seq, id: e.nextID, fn: fn, run: r}
+	}
 	heap.Push(&e.pending, ev)
 	e.byID[ev.id] = ev
 	if e.tap != nil {
 		e.tap.SimScheduled(e.now, t, uint64(ev.id))
 	}
 	return ev.id
+}
+
+// recycle returns an event struct (already out of the heap and id map) to
+// the free pool, dropping its body references so they can be collected.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.run = nil
+	e.free = append(e.free, ev)
 }
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
@@ -158,6 +228,7 @@ func (e *Engine) Cancel(id EventID) {
 	if e.tap != nil {
 		e.tap.SimCancelled(e.now, uint64(id))
 	}
+	e.recycle(ev)
 }
 
 // Step executes the next event, advancing the clock to its timestamp.
@@ -174,7 +245,14 @@ func (e *Engine) Step() bool {
 		if e.tap != nil {
 			e.tap.SimFired(e.now, uint64(ev.id))
 		}
-		ev.fn()
+		if ev.run != nil {
+			ev.run.RunEvent()
+		} else {
+			ev.fn()
+		}
+		// The event is out of the heap and the id map, and its body has
+		// returned; nothing can reference it anymore.
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -242,15 +320,29 @@ func (e *Engine) TickerUntil(start, interval, until Time, fn func(Time)) (stop f
 	stopped := false
 	var id EventID
 	var tick func()
+	// last is the index of the final firing: the largest n such that
+	// start + n*interval <= until, i.e. the workload count contract
+	// floor((until-start)/interval) pinned in the CBR tests. Termination is
+	// derived from this index, not from the accumulated firing time, so
+	// float drift in `at` can no longer add or drop a tick near the
+	// horizon on long runs. The firing instants themselves still
+	// accumulate (clamped to the horizon), preserving the established
+	// event timeline.
+	last := math.Floor((until - start) / interval)
+	n := 0.0
 	at := start
 	tick = func() {
 		if stopped {
 			return
 		}
 		fn(e.now)
+		if n >= last {
+			return
+		}
+		n++
 		at += interval
 		if at > until {
-			return
+			at = until
 		}
 		id = e.At(at, tick)
 	}

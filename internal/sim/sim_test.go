@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -229,6 +230,47 @@ func TestTickerIsUnboundedTickerUntil(t *testing.T) {
 	stop()
 	if e.Pending() != 0 {
 		t.Fatal("stop left events pending")
+	}
+}
+
+// TestTickerUntilCountContract pins the workload count contract over long
+// horizons and non-dyadic intervals: a ticker from start to until at a given
+// interval fires exactly floor((until-start)/interval)+1 times, and never
+// past the horizon. The naive at += interval accumulation drifts by one ULP
+// per tick; over thousands of ticks of 0.1 or 0.3 the accumulated value
+// crosses the horizon early (or lands past it) and the final tick vanishes,
+// silently shorting every CBR pair by one packet.
+func TestTickerUntilCountContract(t *testing.T) {
+	cases := []struct{ start, interval, until Time }{
+		{0.1, 0.1, 1000},   // naive drift fires 9999 times, dropping the final tick
+		{0, 0.3, 3000},     // naive drift: 10000 of 10001
+		{0.25, 0.05, 3000}, // naive drift: 59995 of 59996
+		{0.7, 0.1, 100},    // naive drift fires ONE EXTRA, past the horizon
+		{1, 3, 299998},     // exact integers over 1e5 ticks: must stay exact
+		{0.3, 0.3, 0.8999}, // horizon just short of the third tick
+	}
+	for _, c := range cases {
+		e := NewEngine()
+		n := 0
+		var last Time
+		e.TickerUntil(c.start, c.interval, c.until, func(now Time) {
+			n++
+			last = now
+		})
+		e.RunUntil(c.until + c.interval)
+		want := int(math.Floor(float64((c.until-c.start)/c.interval))) + 1
+		if n != want {
+			t.Errorf("TickerUntil(%v, %v, %v) fired %d times, want floor((until-start)/interval)+1 = %d",
+				c.start, c.interval, c.until, n, want)
+		}
+		if last > c.until {
+			t.Errorf("TickerUntil(%v, %v, %v) fired at %v, past the horizon",
+				c.start, c.interval, c.until, last)
+		}
+		if e.Pending() != 0 {
+			t.Errorf("TickerUntil(%v, %v, %v) left %d events pending",
+				c.start, c.interval, c.until, e.Pending())
+		}
 	}
 }
 

@@ -160,21 +160,23 @@ func (p *Protocol) Send(src, dst medium.NodeID, data []byte) (*metrics.PacketRec
 		p.net.Eng.Schedule(p.cfg.CompleteTimeout, func() { p.finish(m, 0, false) })
 	}
 	anchor := m.zone.Center()
-	pkt := &gpsr.Packet{
-		Dest:      anchor,
-		DeliverTo: gpsr.NoDeliverTo,
-		Payload:   m,
-		Size:      p.cfg.PacketSize,
-		HopBudget: p.cfg.HopBudget,
-		OnOutcome: func(at medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
-			m.rec.Hops += gp.Hops
-			m.rec.Path = append(m.rec.Path, gp.Path...)
-			if out != gpsr.ArrivedClosest {
-				p.finish(m, 0, false)
-				return
-			}
-			p.broadcastZone(at, m)
-		},
+	pkt := p.router.NewPacket()
+	pkt.Dest = anchor
+	pkt.DeliverTo = gpsr.NoDeliverTo
+	pkt.Payload = m
+	pkt.Size = p.cfg.PacketSize
+	pkt.HopBudget = p.cfg.HopBudget
+	pkt.OnOutcome = func(at medium.NodeID, gp *gpsr.Packet, out gpsr.Outcome) {
+		m.rec.Hops += gp.Hops
+		m.rec.Path = append(m.rec.Path, gp.Path...)
+		// The geo-forwarding leg is over either way; the in-zone flood
+		// carries the meta, not this frame, so it can be recycled.
+		defer p.router.Release(gp)
+		if out != gpsr.ArrivedClosest {
+			p.finish(m, 0, false)
+			return
+		}
+		p.broadcastZone(at, m)
 	}
 	pkt.SetTrace(rec.Seq)
 	// One symmetric seal at the source; ZAP carries no per-hop crypto.
