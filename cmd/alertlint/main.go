@@ -13,6 +13,11 @@
 // machinery the standard vet analyzers use. Invoked by the go command (with
 // -V=full, -flags, or a *.cfg compilation-unit file) it acts as the analysis
 // tool via unitchecker.
+//
+// A third mode, `alertlint -allowlist [dir]`, audits the escape hatches: it
+// prints every //lint:allow* annotation in the tree (default ".") with its
+// recorded reason, so reviewers can see exactly which contract exemptions
+// exist and why without grepping.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"strings"
 
 	"alertmanet/internal/lint"
+	"alertmanet/internal/lint/lintutil"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
 )
@@ -29,6 +35,14 @@ import (
 func main() {
 	if toolInvocation(os.Args[1:]) {
 		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+
+	if len(os.Args) > 1 && os.Args[1] == "-allowlist" {
+		root := "."
+		if len(os.Args) > 2 {
+			root = os.Args[2]
+		}
+		os.Exit(allowlist(os.Stdout, root))
 	}
 
 	patterns := os.Args[1:]
@@ -51,6 +65,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "alertlint: %v\n", err)
 		os.Exit(2)
 	}
+}
+
+// allowlist prints every //lint: annotation under root with its reason and
+// returns the process exit code. Sites are the audit trail for the lint
+// contracts: each line is file:line, the marker, and the justification the
+// author recorded.
+func allowlist(w *os.File, root string) int {
+	anns, err := lintutil.ScanAnnotations(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alertlint: -allowlist: %v\n", err)
+		return 2
+	}
+	for _, a := range anns {
+		fmt.Fprintf(w, "%s:%d: %s: %s\n", a.File, a.Line, a.Marker, a.Reason)
+	}
+	fmt.Fprintf(w, "%d annotated site(s)\n", len(anns))
+	return 0
 }
 
 // toolInvocation reports whether the arguments are the go command's

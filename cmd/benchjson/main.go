@@ -19,13 +19,21 @@
 // and exits non-zero if any benchmark present in both regressed its
 // allocs_per_op. Allocation counts — unlike ns/op — are deterministic even
 // under -benchtime=1x, so this is the one memory gate a smoke run can
-// enforce reliably. Timings and custom metrics are printed for context
-// only.
+// enforce reliably. Timings are printed for context only unless a
+// -tolerance is given:
+//
+//	go run ./cmd/benchjson -compare -tolerance 400 old.json new.json
+//
+// which additionally fails any shared benchmark whose ns_per_op grew by
+// more than that percentage. The allocation gate stays exact either way;
+// the tolerance exists because single-iteration timings jitter wildly, so
+// only a generous bound (an order-of-magnitude-ish blowup) is meaningful.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -55,11 +63,23 @@ type document struct {
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "-compare" {
-		if len(os.Args) != 4 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+		fs := flag.NewFlagSet("benchjson -compare", flag.ExitOnError)
+		tolerance := fs.Float64("tolerance", 0,
+			"also fail when ns_per_op grows by more than this percentage (0 disables the timing gate)")
+		fs.Usage = func() {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance pct] old.json new.json")
+			fs.PrintDefaults()
+		}
+		_ = fs.Parse(os.Args[2:]) // ExitOnError: Parse cannot return an error
+		if fs.NArg() != 2 {
+			fs.Usage()
 			os.Exit(2)
 		}
-		report, regressed, err := compareFiles(os.Args[2], os.Args[3])
+		if *tolerance < 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -tolerance must be >= 0")
+			os.Exit(2)
+		}
+		report, regressed, err := compareFiles(fs.Arg(0), fs.Arg(1), *tolerance)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -85,8 +105,8 @@ func main() {
 
 // compareFiles loads two artifacts and renders the allocation diff. The
 // second return value reports whether any shared benchmark regressed its
-// allocs_per_op.
-func compareFiles(oldPath, newPath string) (string, bool, error) {
+// allocs_per_op (or, when tolerance > 0, blew its ns_per_op bound).
+func compareFiles(oldPath, newPath string, tolerance float64) (string, bool, error) {
 	load := func(path string) (*document, error) {
 		b, err := os.ReadFile(path)
 		if err != nil {
@@ -106,13 +126,15 @@ func compareFiles(oldPath, newPath string) (string, bool, error) {
 	if err != nil {
 		return "", false, err
 	}
-	return compare(oldDoc, newDoc)
+	return compare(oldDoc, newDoc, tolerance)
 }
 
-// compare matches benchmarks by package+name and judges allocs_per_op.
-// Benchmarks present on only one side are listed but never judged: a new
-// benchmark has no baseline, and a removed one gates nothing.
-func compare(oldDoc, newDoc *document) (string, bool, error) {
+// compare matches benchmarks by package+name and judges allocs_per_op
+// exactly; with tolerance > 0 it also judges ns_per_op against the
+// percentage bound. Benchmarks present on only one side are listed but
+// never judged: a new benchmark has no baseline, and a removed one gates
+// nothing.
+func compare(oldDoc, newDoc *document, tolerance float64) (string, bool, error) {
 	key := func(b benchResult) string { return b.Package + "." + b.Name }
 	old := make(map[string]benchResult, len(oldDoc.Benchmarks))
 	for _, b := range oldDoc.Benchmarks {
@@ -135,6 +157,14 @@ func compare(oldDoc, newDoc *document) (string, bool, error) {
 		case nb.AllocsPerOp < ob.AllocsPerOp:
 			fmt.Fprintf(&sb, "  better %-39s %d -> %d allocs/op\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
 		}
+		if tolerance > 0 && ob.NsPerOp > 0 {
+			growth := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+			if growth > tolerance {
+				regressed = true
+				fmt.Fprintf(&sb, "  WORSE %-40s %.0f -> %.0f ns/op (+%.0f%%, tolerance %.0f%%)\n",
+					nb.Name, ob.NsPerOp, nb.NsPerOp, growth, tolerance)
+			}
+		}
 	}
 	gone := make([]string, 0, len(old))
 	for name := range old {
@@ -149,7 +179,7 @@ func compare(oldDoc, newDoc *document) (string, bool, error) {
 	}
 	verdict := "PASS"
 	if regressed {
-		verdict = "FAIL: allocs_per_op regressed"
+		verdict = "FAIL: allocs_per_op or ns_per_op regressed"
 	}
 	return fmt.Sprintf("benchjson compare: %d matched\n%s%s\n", matched, sb.String(), verdict), regressed, nil
 }

@@ -69,7 +69,12 @@ func TestParseResultRejectsMalformed(t *testing.T) {
 
 func compareDocs(t *testing.T, oldB, newB []benchResult) (string, bool) {
 	t.Helper()
-	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB})
+	return compareDocsTol(t, oldB, newB, 0)
+}
+
+func compareDocsTol(t *testing.T, oldB, newB []benchResult, tolerance float64) (string, bool) {
+	t.Helper()
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, tolerance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,8 +132,49 @@ func TestCompareIgnoresUnmatched(t *testing.T) {
 func TestCompareErrorsWithNothingInCommon(t *testing.T) {
 	_, _, err := compare(
 		&document{Benchmarks: []benchResult{{Package: "p", Name: "A"}}},
-		&document{Benchmarks: []benchResult{{Package: "p", Name: "B"}}})
+		&document{Benchmarks: []benchResult{{Package: "p", Name: "B"}}}, 0)
 	if err == nil {
 		t.Fatal("disjoint artifacts must error, not silently pass")
+	}
+}
+
+func TestCompareToleranceGatesNsPerOp(t *testing.T) {
+	oldB := []benchResult{{Package: "p", Name: "A", NsPerOp: 100, AllocsPerOp: 3}}
+	newB := []benchResult{{Package: "p", Name: "A", NsPerOp: 900, AllocsPerOp: 3}} // +800%
+	report, regressed := compareDocsTol(t, oldB, newB, 400)
+	if !regressed {
+		t.Fatal("+800% ns/op with 400% tolerance must regress")
+	}
+	if !strings.Contains(report, "ns/op") || !strings.Contains(report, "tolerance") {
+		t.Fatalf("report = %q", report)
+	}
+}
+
+func TestCompareToleranceAllowsJitterWithinBound(t *testing.T) {
+	oldB := []benchResult{{Package: "p", Name: "A", NsPerOp: 100, AllocsPerOp: 3}}
+	newB := []benchResult{{Package: "p", Name: "A", NsPerOp: 350, AllocsPerOp: 3}} // +250%
+	_, regressed := compareDocsTol(t, oldB, newB, 400)
+	if regressed {
+		t.Fatal("+250% ns/op within 400% tolerance must pass")
+	}
+}
+
+func TestCompareZeroToleranceIgnoresTimings(t *testing.T) {
+	oldB := []benchResult{{Package: "p", Name: "A", NsPerOp: 1, AllocsPerOp: 3}}
+	newB := []benchResult{{Package: "p", Name: "A", NsPerOp: 1e9, AllocsPerOp: 3}}
+	_, regressed := compareDocs(t, oldB, newB)
+	if regressed {
+		t.Fatal("tolerance 0 must leave ns/op ungated")
+	}
+}
+
+func TestCompareToleranceZeroBaselineNeverJudged(t *testing.T) {
+	// An old artifact without timings (NsPerOp 0) offers no baseline; the
+	// growth ratio would be infinite, so the gate must stay silent.
+	oldB := []benchResult{{Package: "p", Name: "A", NsPerOp: 0, AllocsPerOp: 3}}
+	newB := []benchResult{{Package: "p", Name: "A", NsPerOp: 5000, AllocsPerOp: 3}}
+	_, regressed := compareDocsTol(t, oldB, newB, 400)
+	if regressed {
+		t.Fatal("zero ns/op baseline must not be judged")
 	}
 }

@@ -586,6 +586,7 @@ func gini(counts []uint64) float64 {
 		sorted[i] = float64(c)
 		total += float64(c)
 	}
+	//lint:allowfloatcompare total is a sum of exact uint64 conversions; zero is exact
 	if total == 0 {
 		return 0
 	}

@@ -29,6 +29,7 @@ func RenderSeries(w io.Writer, title string, series []analysis.Series) {
 			sameGrid = false
 		} else {
 			for i := range s.X {
+				//lint:allowfloatcompare axis values are copied sweep points, never recomputed; identity is exact
 				if s.X[i] != series[0].X[i] {
 					sameGrid = false
 					break
@@ -91,6 +92,7 @@ func RenderCSV(w io.Writer, title string, series []analysis.Series) {
 			break
 		}
 		for i := range s.X {
+			//lint:allowfloatcompare axis values are copied sweep points, never recomputed; identity is exact
 			if s.X[i] != series[0].X[i] {
 				sameGrid = false
 				break

@@ -1,0 +1,181 @@
+// Package bufreuse defines an analyzer enforcing the reusable-query-buffer
+// contract from the PR 6 hot-path pass. Functions named *Into take a
+// caller-owned destination slice (NeighborsInto, NodesWithinInto,
+// NodesInInto), append into dst[:0] and hand the possibly-regrown slice
+// back; the caller recycles it across queries. That only works if the callee
+// treats the buffer as borrowed: it may append, reslice and return it, but
+// must never retain it — a store into receiver or package state, a channel
+// send, or an escaping closure would make callee and caller silently share
+// one backing array across calls.
+package bufreuse
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"alertmanet/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Marker is the escape-hatch comment: //lint:allowbufreuse <reason>.
+const Marker = "allowbufreuse"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "bufreuse",
+	Doc: "forbid *Into functions from retaining the caller's buffer\n\n" +
+		"A function whose name ends in Into borrows its slice parameters: it may\n" +
+		"append into them, reslice them and return them, but must not store them\n" +
+		"(or a local aliasing them) into fields, package variables, maps or slices,\n" +
+		"send them on a channel, or capture them in a goroutine closure — the\n" +
+		"caller reuses the buffer on the next query. _test.go files are exempt.\n" +
+		"Escape hatch: //lint:allowbufreuse <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	markers := lintutil.NewMarkers(pass)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || !strings.HasSuffix(fd.Name.Name, "Into") {
+			return
+		}
+		if lintutil.IsTestFile(pass, fd.Pos()) {
+			return
+		}
+		bufs := bufferParams(pass, fd)
+		if len(bufs) == 0 {
+			return
+		}
+		checkFunc(pass, markers, fd, bufs)
+	})
+	return nil, nil
+}
+
+// bufferParams returns the slice-typed parameters of an *Into function —
+// the borrowed buffers the contract covers.
+func bufferParams(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	bufs := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				bufs[obj] = true
+			}
+		}
+	}
+	return bufs
+}
+
+func checkFunc(pass *analysis.Pass, markers *lintutil.Markers, fd *ast.FuncDecl, aliases map[types.Object]bool) {
+	isAlias := func(e ast.Expr) bool { return aliasExpr(pass, aliases, e) }
+
+	// Propagate aliasing through plain local assignments (out := dst[:0],
+	// out = append(out, x)); two passes reach the fixpoint for the chains
+	// that occur in practice.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isAlias(as.Rhs[i]) {
+					continue
+				}
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					aliases[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(n ast.Node, what string) {
+		if _, ok := markers.Reason(n.Pos(), Marker); ok {
+			return
+		}
+		pass.Reportf(n.Pos(),
+			"%s retains the caller's reusable buffer in an Into function: the caller recycles it on the next query, so both would share one backing array; copy the data or annotate //lint:allowbufreuse <reason>", what)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if !isAlias(x.Rhs[i]) {
+					continue
+				}
+				// Assigning to a plain local just extends the alias set;
+				// anything with structure (a field, an element, a deref, a
+				// package variable) outlives the call.
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj == nil || obj.Parent() != obj.Pkg().Scope() {
+						continue
+					}
+				}
+				report(x, "store")
+			}
+		case *ast.SendStmt:
+			if isAlias(x.Value) {
+				report(x, "channel send")
+			}
+		case *ast.GoStmt:
+			// A goroutine capturing (or receiving) the buffer outlives the
+			// call by construction.
+			for _, arg := range x.Call.Args {
+				if isAlias(arg) {
+					report(arg, "goroutine argument")
+				}
+			}
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil && aliases[obj] {
+							report(id, "goroutine capture")
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// aliasExpr reports whether e evaluates to (a reslice of) a borrowed buffer:
+// the parameter itself, an aliasing local, a slice expression over either,
+// or an append destined into one (append may grow in place).
+func aliasExpr(pass *analysis.Pass, aliases map[types.Object]bool, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return aliasExpr(pass, aliases, x.X)
+	case *ast.SliceExpr:
+		return aliasExpr(pass, aliases, x.X)
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(x)
+		return obj != nil && aliases[obj]
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				// Variadic `buf...` element copies are not aliases; only
+				// the destination carries the backing array forward.
+				return aliasExpr(pass, aliases, x.Args[0])
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package bufreuse_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/bufreuse"
+	"alertmanet/internal/lint/linttest"
+)
+
+func TestBufReuse(t *testing.T) {
+	linttest.Run(t, bufreuse.Analyzer, "a")
+}

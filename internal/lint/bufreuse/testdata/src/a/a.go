@@ -1,0 +1,85 @@
+// Fixture: *Into functions retaining (or correctly borrowing) the caller's
+// reusable buffer.
+package a
+
+// Entry is one query result.
+type Entry struct{ ID int }
+
+// Table is a queryable structure with an illegal buffer cache.
+type Table struct {
+	entries []Entry
+	cache   []Entry
+	sink    chan []Entry
+}
+
+// EntriesInto is the approved shape: append into dst[:0], return the
+// possibly-regrown slice, retain nothing.
+func (t *Table) EntriesInto(dst []Entry) []Entry {
+	out := dst[:0]
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// BadCacheInto stores the borrowed buffer into receiver state: the next
+// caller query and the cache would share one backing array.
+func (t *Table) BadCacheInto(dst []Entry) []Entry {
+	out := dst[:0]
+	out = append(out, t.entries...)
+	t.cache = out // want `store retains the caller's reusable buffer`
+	return out
+}
+
+// BadFieldInto stores the parameter itself, not even a derived local.
+func (t *Table) BadFieldInto(dst []Entry) {
+	t.cache = dst // want `store retains the caller's reusable buffer`
+}
+
+// lastSeen is package state; parking the buffer there outlives every call.
+var lastSeen []Entry
+
+// BadGlobalInto retains the buffer in a package variable.
+func BadGlobalInto(dst []Entry) []Entry {
+	lastSeen = dst // want `store retains the caller's reusable buffer`
+	return dst
+}
+
+// BadSendInto hands the buffer to another goroutine via a channel.
+func (t *Table) BadSendInto(dst []Entry) {
+	t.sink <- dst // want `channel send retains the caller's reusable buffer`
+}
+
+// BadGoCaptureInto leaks the buffer into a goroutine closure.
+func (t *Table) BadGoCaptureInto(dst []Entry) {
+	out := dst[:0]
+	go func() {
+		_ = out // want `goroutine capture retains the caller's reusable buffer`
+	}()
+}
+
+// BadGoArgInto passes the buffer to a goroutine call.
+func BadGoArgInto(dst []Entry, consume func([]Entry)) {
+	go consume(dst) // want `goroutine argument retains the caller's reusable buffer`
+}
+
+// GoodCopyInto may keep a private copy — fresh storage, no aliasing.
+func (t *Table) GoodCopyInto(dst []Entry) []Entry {
+	out := dst[:0]
+	out = append(out, t.entries...)
+	t.cache = append([]Entry(nil), out...)
+	return out
+}
+
+// AnnotatedInto carries a reviewed escape hatch and is accepted.
+func (t *Table) AnnotatedInto(dst []Entry) []Entry {
+	//lint:allowbufreuse fixture: t.cache is documented as aliasing the caller's buffer until the next query
+	t.cache = dst
+	return dst
+}
+
+// PlainInto has no slice parameter, so the contract does not apply.
+func (t *Table) PlainInto(n int) int { return n + 1 }
+
+// retain is not an *Into function; ordinary slice stores are fine.
+func (t *Table) retain(s []Entry) { t.cache = s }

@@ -31,10 +31,15 @@ const Marker = "allowfloatcompare"
 // that are copied, never recomputed, so exact equality is meaningful there.
 // internal/medium and internal/sim joined the list when the beacon-clock and
 // ticker-drift fixes landed: both bugs were exact-float-arithmetic defects in
-// clock derivation, precisely this analyzer's beat.
+// clock derivation, precisely this analyzer's beat. internal/experiment,
+// internal/campaign and internal/telemetry followed: they aggregate,
+// round-trip and stream the same float results, where an exact compare is
+// either a latent bug or a deliberate bit-identity check worth a recorded
+// reason.
 var Packages = []string{
 	"internal/geo", "internal/metrics", "internal/stats",
 	"internal/medium", "internal/sim",
+	"internal/experiment", "internal/campaign", "internal/telemetry",
 }
 
 // epsilonHelper matches function names that exist to encapsulate a tolerance
@@ -44,8 +49,9 @@ var epsilonHelper = regexp.MustCompile(`(?i)(approx|almost|epsilon|nearly)`)
 var Analyzer = &analysis.Analyzer{
 	Name: "floatcompare",
 	Doc: "forbid exact float equality in the numeric packages\n\n" +
-		"In internal/geo, internal/metrics, internal/stats, internal/medium and\n" +
-		"internal/sim, == and != between floating-point operands must go through an\n" +
+		"In internal/geo, internal/metrics, internal/stats, internal/medium,\n" +
+		"internal/sim, internal/experiment, internal/campaign and internal/telemetry,\n" +
+		"== and != between floating-point operands must go through an\n" +
 		"epsilon helper (a function whose name contains approx/almost/epsilon/nearly).\n" +
 		"_test.go files are exempt.\n" +
 		"Escape hatch: //lint:allowfloatcompare <reason>.",

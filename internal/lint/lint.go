@@ -1,21 +1,29 @@
 // Package lint assembles the alertlint analyzer suite: the static half of
 // the simulator's determinism guarantee. Each analyzer enforces one contract
-// that makes a run a pure function of (Scenario, seed); DESIGN.md's
-// "Determinism contract" section is the prose counterpart.
+// that makes a run a pure function of (Scenario, seed) — or, for the memory-
+// discipline analyzers added with the PR 6 hot path, one contract that keeps
+// the forwarding path allocation-free and the substrate single-goroutine;
+// DESIGN.md's "Determinism contract" section is the prose counterpart.
 package lint
 
 import (
+	"alertmanet/internal/lint/bufreuse"
 	"alertmanet/internal/lint/floatcompare"
 	"alertmanet/internal/lint/maporder"
+	"alertmanet/internal/lint/niltapguard"
 	"alertmanet/internal/lint/norawrand"
 	"alertmanet/internal/lint/nowallclock"
 	"alertmanet/internal/lint/panicdiscipline"
+	"alertmanet/internal/lint/poollifetime"
+	"alertmanet/internal/lint/sharedstate"
 
 	"golang.org/x/tools/go/analysis"
 )
 
 // Analyzers returns the full suite in a fresh slice, one analyzer per
-// contract.
+// contract: five determinism/error-discipline analyzers (PR 2) and four
+// memory/goroutine-discipline analyzers guarding the pooled hot path and
+// the coming sharded engine.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		norawrand.Analyzer,
@@ -23,5 +31,9 @@ func Analyzers() []*analysis.Analyzer {
 		maporder.Analyzer,
 		panicdiscipline.Analyzer,
 		floatcompare.Analyzer,
+		poollifetime.Analyzer,
+		bufreuse.Analyzer,
+		niltapguard.Analyzer,
+		sharedstate.Analyzer,
 	}
 }

@@ -6,7 +6,12 @@ package lintutil
 
 import (
 	"go/ast"
+	"go/parser"
 	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -55,6 +60,29 @@ func lastElem(path string) string {
 // IsTestFile reports whether pos lies in a _test.go file.
 func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
 	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// NamedTypeIs reports whether t (or the type it points to) is the named type
+// `name` declared in a package matching any of pkgPatterns. The contract
+// analyzers use it to recognize the guarded types — gpsr.Packet, sim.Engine,
+// experiment.Arena, metrics.RecordSlab — in both the real tree and fixture
+// stand-ins with short import paths.
+func NamedTypeIs(t types.Type, name string, pkgPatterns []string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PackageMatchesAny(obj.Pkg().Path(), pkgPatterns)
 }
 
 // Markers indexes the //lint:<name> <reason> comments of a package so
@@ -130,6 +158,74 @@ func (m *Markers) Present(pos token.Pos, name string) bool {
 	}
 	rest, ok := strings.CutPrefix(text, name)
 	return ok && (rest == "" || strings.HasPrefix(rest, " "))
+}
+
+// Annotation is one //lint:<marker> <reason> escape-hatch site found in the
+// source tree — the unit `alertlint -allowlist` reports so every exemption
+// stays auditable.
+type Annotation struct {
+	File   string // path relative to the scanned root
+	Line   int
+	Marker string // marker name, e.g. "allowpanic"
+	Reason string // justification text ("" for a bare, invalid marker)
+}
+
+// ScanAnnotations walks the Go files under root and collects every
+// //lint:<marker> comment, sorted by file then line. vendor/ and testdata/
+// trees are skipped: vendored code is not ours to audit and fixtures contain
+// markers as test content, not as reviewed exemptions.
+func ScanAnnotations(root string) ([]Annotation, error) {
+	var out []Annotation
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "vendor", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				marker, reason, _ := strings.Cut(text, " ")
+				out = append(out, Annotation{
+					File:   rel,
+					Line:   fset.Position(c.Pos()).Line,
+					Marker: marker,
+					Reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
 }
 
 // EnclosingFuncName returns the name of the nearest enclosing FuncDecl in

@@ -4,6 +4,9 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"golang.org/x/tools/go/analysis"
@@ -102,5 +105,109 @@ func TestMarkers(t *testing.T) {
 	}
 	if m.Present(panics[3], "allowpanic") {
 		t.Error("allowpanicky must not satisfy allowpanic")
+	}
+}
+
+// checkPkg type-checks src as a package with the given import path and
+// returns the named type called name declared in it.
+func checkPkg(t *testing.T, pkgPath, src, name string) types.Type {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{}).Check(pkgPath, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		t.Fatalf("type %s not found in %s", name, pkgPath)
+	}
+	return obj.Type()
+}
+
+func TestNamedTypeIs(t *testing.T) {
+	patterns := []string{"internal/gpsr"}
+	real := checkPkg(t, "alertmanet/internal/gpsr", "package gpsr\ntype Packet struct{}", "Packet")
+	fixture := checkPkg(t, "gpsr", "package gpsr\ntype Packet struct{}", "Packet")
+	other := checkPkg(t, "alertmanet/internal/sim", "package sim\ntype Engine struct{}", "Engine")
+
+	if !NamedTypeIs(real, "Packet", patterns) {
+		t.Error("real-tree gpsr.Packet not recognized")
+	}
+	if !NamedTypeIs(types.NewPointer(real), "Packet", patterns) {
+		t.Error("*gpsr.Packet must be recognized through the pointer")
+	}
+	if !NamedTypeIs(fixture, "Packet", patterns) {
+		t.Error("fixture short-path gpsr.Packet not recognized")
+	}
+	if NamedTypeIs(other, "Packet", patterns) {
+		t.Error("sim.Engine must not match Packet")
+	}
+	if NamedTypeIs(real, "Packet", []string{"internal/sim"}) {
+		t.Error("gpsr.Packet must not match an internal/sim pattern")
+	}
+	if NamedTypeIs(nil, "Packet", patterns) {
+		t.Error("nil type must not match")
+	}
+	if NamedTypeIs(types.Typ[types.Int], "Packet", patterns) {
+		t.Error("basic type must not match")
+	}
+}
+
+func TestScanAnnotations(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("pkg/a.go", `package pkg
+
+func f() {
+	//lint:allowpanic reason one
+	panic("x")
+}
+
+func g() {
+	panic("y") //lint:allowfloatcompare trailing reason
+}
+`)
+	write("pkg/testdata/src/a/a.go", `package a
+
+func h() {
+	//lint:allowpanic fixture content, must be skipped
+	panic("z")
+}
+`)
+	write("vendor/dep/dep.go", `package dep
+
+//lint:allowpanic vendored, must be skipped
+func v() {}
+`)
+	write("pkg/notes.txt", "//lint:allowpanic not a go file")
+
+	anns, err := ScanAnnotations(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 2 {
+		t.Fatalf("got %d annotations, want 2: %+v", len(anns), anns)
+	}
+	want := []Annotation{
+		{File: filepath.Join("pkg", "a.go"), Line: 4, Marker: "allowpanic", Reason: "reason one"},
+		{File: filepath.Join("pkg", "a.go"), Line: 9, Marker: "allowfloatcompare", Reason: "trailing reason"},
+	}
+	for i, w := range want {
+		if anns[i] != w {
+			t.Errorf("annotation %d = %+v, want %+v", i, anns[i], w)
+		}
 	}
 }

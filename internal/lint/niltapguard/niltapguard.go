@@ -1,0 +1,165 @@
+// Package niltapguard defines an analyzer enforcing the telemetry overhead
+// contract from PR 4/PR 6: a disabled tap (nil) must cost one predictable
+// branch and nothing else. Every emit site in simulation code is written
+//
+//	if tap != nil { tap.Forward(now, trace, from, to, mode) }
+//
+// — the guard keeps the call (and its argument evaluation) entirely off the
+// disabled path, and scalar arguments keep the enabled path allocation-lean.
+// An unguarded emit is safe only by the Tap methods' nil-receiver checks,
+// which still pays a call and argument evaluation per event on the hottest
+// paths in the tree; fmt formatting or a closure in the arguments allocates
+// on every emitted event. TestNilTapZeroAlloc pins the contract dynamically;
+// this analyzer rejects the shape at vet time.
+package niltapguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"alertmanet/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Marker is the escape-hatch comment: //lint:allowniltap <reason>.
+const Marker = "allowniltap"
+
+// TapPackages name the package that owns the Tap type; fixture stand-ins
+// under a short "telemetry" import path match by final path element. The
+// package itself is exempt (its methods are the nil-safe implementation).
+var TapPackages = []string{"internal/telemetry"}
+
+// TapTypeName is the tap type's name within TapPackages.
+const TapTypeName = "Tap"
+
+// teardown are the once-per-run Tap methods that read state or flush output
+// rather than emit events; they run after the drain, outside any hot path,
+// and are nil-receiver-safe, so they need no guard.
+var teardown = map[string]bool{
+	"Flush":         true,
+	"Events":        true,
+	"Registry":      true,
+	"WriteSnapshot": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "niltapguard",
+	Doc: "require telemetry emits behind an `if tap != nil` guard with scalar args\n\n" +
+		"Calls to *telemetry.Tap emit methods in simulation packages must sit inside\n" +
+		"an if whose condition nil-checks the same tap expression, so the disabled\n" +
+		"path is one branch with no call and no argument evaluation. Emit arguments\n" +
+		"must not call fmt functions or build closures (per-event allocations).\n" +
+		"Teardown methods (Flush, Events, Registry, WriteSnapshot), cmd/ packages\n" +
+		"and _test.go files are exempt. Escape hatch: //lint:allowniltap <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The telemetry package implements the taps; command-line binaries
+	// record at human timescales where a guard buys nothing.
+	if lintutil.PackageMatchesAny(pass.Pkg.Path(), TapPackages) ||
+		lintutil.HasPathElement(pass.Pkg.Path(), "cmd") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	markers := lintutil.NewMarkers(pass)
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !lintutil.NamedTypeIs(pass.TypesInfo.TypeOf(sel.X), TapTypeName, TapPackages) {
+			return true
+		}
+		if teardown[sel.Sel.Name] || lintutil.IsTestFile(pass, call.Pos()) {
+			return true
+		}
+		if _, ok := markers.Reason(call.Pos(), Marker); ok {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		if !nilGuarded(pass, stack, recv) {
+			pass.Reportf(call.Pos(),
+				"telemetry emit %s.%s outside an `if %s != nil` guard: the disabled path must be one branch with no call and no argument evaluation (guard it or annotate //lint:allowniltap <reason>)",
+				recv, sel.Sel.Name, recv)
+		}
+		checkArgs(pass, call)
+		return true
+	})
+	return nil, nil
+}
+
+// nilGuarded reports whether some enclosing if statement's condition
+// contains a `<recv> != nil` conjunct for the same receiver expression
+// (textually — r.tap guarded by r.tap, a local tap by tap).
+func nilGuarded(pass *analysis.Pass, stack []ast.Node, recv string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condNilChecks(ifStmt.Cond, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// condNilChecks reports whether cond contains, possibly under &&, a binary
+// `expr != nil` (either operand order) whose expr prints as recv.
+func condNilChecks(cond ast.Expr, recv string) bool {
+	switch x := cond.(type) {
+	case *ast.ParenExpr:
+		return condNilChecks(x.X, recv)
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND {
+			return condNilChecks(x.X, recv) || condNilChecks(x.Y, recv)
+		}
+		if x.Op != token.NEQ {
+			return false
+		}
+		return (isNilIdent(x.Y) && types.ExprString(x.X) == recv) ||
+			(isNilIdent(x.X) && types.ExprString(x.Y) == recv)
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// checkArgs flags per-event allocation hazards in emit arguments: fmt calls
+// and function literals. strconv, plain selectors and method calls that
+// return scalars are fine.
+func checkArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				pass.Reportf(x.Pos(),
+					"closure in telemetry emit arguments: emit args must be scalars (the closure allocates on every emitted event)")
+				return false
+			case *ast.SelectorExpr:
+				if id, ok := x.X.(*ast.Ident); ok {
+					if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+						pass.Reportf(x.Pos(),
+							"fmt call in telemetry emit arguments: emit args must be scalars (format with strconv at the consumer, not per event)")
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+}

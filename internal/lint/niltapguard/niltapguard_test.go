@@ -1,0 +1,12 @@
+package niltapguard_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/linttest"
+	"alertmanet/internal/lint/niltapguard"
+)
+
+func TestNilTapGuard(t *testing.T) {
+	linttest.Run(t, niltapguard.Analyzer, "a")
+}

@@ -1,0 +1,67 @@
+// Fixture: telemetry emits with and without the `if tap != nil` guard.
+package a
+
+import (
+	"fmt"
+
+	"telemetry"
+)
+
+// Router carries an optional tap, like gpsr.Router and medium.Medium.
+type Router struct {
+	tap *telemetry.Tap
+	now float64
+}
+
+// goodGuarded is the canonical emit shape.
+func (r *Router) goodGuarded(trace, from, to int) {
+	if r.tap != nil {
+		r.tap.Forward(r.now, trace, from, to, "greedy")
+	}
+}
+
+// goodGuardedConjunct guards inside a compound condition.
+func (r *Router) goodGuardedConjunct(trace, from, to int, verbose bool) {
+	if verbose && r.tap != nil {
+		r.tap.Forward(r.now, trace, from, to, "greedy")
+	}
+}
+
+// goodLocalTap rebinds the tap locally; the guard matches the local name.
+func (r *Router) goodLocalTap(trace, node, hops int) {
+	tap := r.tap
+	if tap != nil {
+		tap.Hop(r.now, trace, node, hops)
+	}
+}
+
+// badUnguarded pays the call and argument evaluation even when disabled.
+func (r *Router) badUnguarded(trace, from, to int) {
+	r.tap.Forward(r.now, trace, from, to, "greedy") // want `telemetry emit r\.tap\.Forward outside an .if r\.tap != nil. guard`
+}
+
+// badWrongGuard nil-checks a different expression than it emits on.
+func (r *Router) badWrongGuard(other *Router, trace, node, hops int) {
+	if other.tap != nil {
+		r.tap.Hop(r.now, trace, node, hops) // want `telemetry emit r\.tap\.Hop outside an .if r\.tap != nil. guard`
+	}
+}
+
+// badFmtArg formats per event: allocates on every emitted event.
+func (r *Router) badFmtArg(trace, from, to int) {
+	if r.tap != nil {
+		r.tap.Forward(r.now, trace, from, to, fmt.Sprintf("mode-%d", from)) // want `fmt call in telemetry emit arguments`
+	}
+}
+
+// goodTeardown calls once-per-run methods without a guard.
+func (r *Router) goodTeardown() uint64 {
+	r.tap.Flush()
+	return r.tap.Events()
+}
+
+// annotated carries a reviewed escape hatch and is accepted.
+func (r *Router) annotated(trace, node, hops int) {
+	//lint:allowniltap fixture: cold path, one call per run
+	r.tap.Hop(r.now, trace, node, hops)
+}

@@ -1,0 +1,36 @@
+// Fixture stand-in for internal/telemetry: the short import path
+// "telemetry" matches the analyzer's package patterns by final path
+// element, so this package itself is exempt (it implements the taps).
+package telemetry
+
+// Tap is one run's event stream; nil means telemetry is disabled.
+type Tap struct {
+	events uint64
+}
+
+// Forward records a routing forward (an emit method: guard required).
+func (t *Tap) Forward(now float64, trace, from, to int, mode string) {
+	if t == nil {
+		return
+	}
+	t.events++
+}
+
+// Hop records a confirmed arrival (an emit method: guard required).
+func (t *Tap) Hop(now float64, trace, node, hops int) {
+	if t == nil {
+		return
+	}
+	t.events++
+}
+
+// Events returns the emitted-event count (teardown: no guard required).
+func (t *Tap) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.events
+}
+
+// Flush drains buffered output (teardown: no guard required).
+func (t *Tap) Flush() error { return nil }

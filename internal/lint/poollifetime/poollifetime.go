@@ -1,0 +1,274 @@
+// Package poollifetime defines an analyzer enforcing the pooled packet-frame
+// contract from the PR 6 hot-path pass: a *gpsr.Packet taken from a router's
+// pool (NewPacket) goes back to the pool (Release) when its routing ends, and
+// until then nothing may retain a reference into the frame. The sharp edge is
+// the Path slice: the pool truncates Path's backing array when the frame is
+// reissued, so a record that aliased it — `rec.Path = gp.Path` instead of
+// `rec.Path = append(rec.Path[:0], gp.Path...)` — is silently rewritten by
+// the next packet. That exact bug shipped once and is pinned dynamically by
+// TestRecycledFrameDoesNotAliasRecordPath; this analyzer rejects the shape at
+// vet time, before a test has to catch it.
+package poollifetime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"alertmanet/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Marker is the escape-hatch comment: //lint:allowpoollifetime <reason>.
+const Marker = "allowpoollifetime"
+
+// FramePackages name the package that owns the pooled frame type. The frame
+// type is gpsr.Packet; fixture stand-ins under a short "gpsr" import path
+// match by final path element.
+var FramePackages = []string{"internal/gpsr"}
+
+// FrameTypeName is the pooled frame type's name within FramePackages.
+const FrameTypeName = "Packet"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poollifetime",
+	Doc: "enforce the pooled packet-frame lifetime contract\n\n" +
+		"Every NewPacket must be paired with a Release reachable from the same\n" +
+		"function (directly or in a callback closure built there), unless the\n" +
+		"function returns the frame (ownership transfer). Slice fields of a pooled\n" +
+		"frame — p.Path above all — must never be stored into longer-lived state,\n" +
+		"returned, or placed in a composite literal without an explicit copy: the\n" +
+		"pool truncates the backing array on reissue. _test.go files are exempt.\n" +
+		"Escape hatch: //lint:allowpoollifetime <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	markers := lintutil.NewMarkers(pass)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || lintutil.IsTestFile(pass, fd.Pos()) {
+			return
+		}
+		checkPairing(pass, markers, fd)
+		checkAliasing(pass, markers, fd)
+	})
+	return nil, nil
+}
+
+// isFrame reports whether t is (a pointer to) the pooled frame type.
+func isFrame(t types.Type) bool {
+	return lintutil.NamedTypeIs(t, FrameTypeName, FramePackages)
+}
+
+// isFrameExpr reports whether e's static type is (a pointer to) the frame.
+func isFrameExpr(pass *analysis.Pass, e ast.Expr) bool {
+	return isFrame(pass.TypesInfo.TypeOf(e))
+}
+
+// checkPairing reports NewPacket calls in functions that neither call
+// Release (anywhere, including inside closures built in the function — the
+// OnOutcome callback is the canonical release site) nor return a frame
+// (ownership transfer to the caller, the factory shape).
+func checkPairing(pass *analysis.Pass, markers *lintutil.Markers, fd *ast.FuncDecl) {
+	var newCalls []*ast.CallExpr
+	released := false
+	returnsFrame := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "NewPacket":
+					if isFrameExpr(pass, x) {
+						newCalls = append(newCalls, x)
+					}
+				case "Release":
+					if len(x.Args) == 1 && isFrameExpr(pass, x.Args[0]) {
+						released = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if isFrameExpr(pass, r) {
+					returnsFrame = true
+				}
+			}
+		}
+		return true
+	})
+	if released || returnsFrame {
+		return
+	}
+	for _, call := range newCalls {
+		if _, ok := markers.Reason(call.Pos(), Marker); ok {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"NewPacket without a matching Release in %s: pooled frames must go back to the pool when routing ends (release in the OnOutcome callback, return the frame to transfer ownership, or annotate //lint:allowpoollifetime <reason>)",
+			fd.Name.Name)
+	}
+}
+
+// checkAliasing reports stores that let a slice field of a pooled frame
+// outlive the frame: assignment into non-local storage, return statements,
+// and composite literals, directly or through a local alias. The approved
+// idiom is an explicit copy — rec.Path = append(rec.Path[:0], gp.Path...).
+func checkAliasing(pass *analysis.Pass, markers *lintutil.Markers, fd *ast.FuncDecl) {
+	// aliases collects locals assigned from a frame slice field (or from
+	// another alias); two passes reach the fixpoint for the chained-local
+	// shapes that occur in practice.
+	aliases := map[types.Object]bool{}
+	aliasesExpr := func(e ast.Expr) bool { return aliasExpr(pass, aliases, e) }
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !aliasesExpr(as.Rhs[i]) {
+					continue
+				}
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					aliases[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(pos ast.Node, what string) {
+		if _, ok := markers.Reason(pos.Pos(), Marker); ok {
+			return
+		}
+		pass.Reportf(pos.Pos(),
+			"%s aliases a pooled frame's slice: the pool truncates the backing array on reissue, silently rewriting the alias; copy instead (append(dst[:0], p.Path...)) or annotate //lint:allowpoollifetime <reason>", what)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if !aliasesExpr(x.Rhs[i]) {
+					continue
+				}
+				// Plain local (re)assignment only extends the alias set;
+				// storing back into a frame-typed object is the pool's own
+				// business (recycle truncates the frame it owns).
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue
+				}
+				if root := rootExpr(lhs); root != nil && isFrameExpr(pass, root) {
+					continue
+				}
+				report(x, "store")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if aliasesExpr(r) {
+					report(x, "return")
+				}
+			}
+		case *ast.CompositeLit:
+			// A frame-typed composite stores the alias back into a frame —
+			// the pool's own recycle shape — which is fine.
+			if isFrame(pass.TypesInfo.TypeOf(x)) {
+				return true
+			}
+			for _, elt := range x.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if frameSliceSel(pass, v) != nil || aliasIdent(pass, aliases, v) {
+					report(v, "composite literal")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliasExpr reports whether e evaluates to (a reslice of) a pooled frame's
+// slice field: the field selector itself, a slice expression over it or an
+// alias, an alias local, or an append whose destination is one of those (an
+// append may grow in place, so its result conservatively stays an alias).
+func aliasExpr(pass *analysis.Pass, aliases map[types.Object]bool, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return aliasExpr(pass, aliases, x.X)
+	case *ast.SliceExpr:
+		return aliasExpr(pass, aliases, x.X)
+	case *ast.SelectorExpr:
+		return frameSliceSel(pass, x) != nil
+	case *ast.Ident:
+		return aliasIdent(pass, aliases, x)
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				// Only the destination matters: variadic `src...` element
+				// copies (the approved idiom) are not aliases.
+				return aliasExpr(pass, aliases, x.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// frameSliceSel returns sel if it selects a slice-typed field of a pooled
+// frame (p.Path), else nil.
+func frameSliceSel(pass *analysis.Pass, e ast.Expr) *ast.SelectorExpr {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !isFrameExpr(pass, sel.X) {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(sel)
+	if t == nil {
+		return nil
+	}
+	if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+		return nil
+	}
+	return sel
+}
+
+func aliasIdent(pass *analysis.Pass, aliases map[types.Object]bool, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	return obj != nil && aliases[obj]
+}
+
+// rootExpr unwraps an assignable expression to the identifier at its base
+// (rec in rec.Path, p in *p), nil when no single identifier anchors it.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

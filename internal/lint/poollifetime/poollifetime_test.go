@@ -1,0 +1,12 @@
+package poollifetime_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/linttest"
+	"alertmanet/internal/lint/poollifetime"
+)
+
+func TestPoolLifetime(t *testing.T) {
+	linttest.Run(t, poollifetime.Analyzer, "a", "gpsr")
+}

@@ -1,0 +1,101 @@
+// Fixture: pooled packet-frame lifetime violations and the approved idioms.
+package a
+
+import "gpsr"
+
+// Record outlives any one frame (stand-in for metrics.PacketRecord).
+type Record struct {
+	Hops int
+	Path []gpsr.NodeID
+}
+
+// goodSend is the canonical shape: NewPacket paired with Release in the
+// OnOutcome callback, Path copied into the record with append(dst[:0], ...).
+func goodSend(r *gpsr.Router, rec *Record) {
+	pkt := r.NewPacket()
+	pkt.OnOutcome = func(_ gpsr.NodeID, gp *gpsr.Packet, _ gpsr.Outcome) {
+		rec.Hops = gp.Hops
+		rec.Path = append(rec.Path[:0], gp.Path...)
+		r.Release(gp)
+	}
+	r.Send(0, pkt)
+}
+
+// badLeak takes a frame and never releases it on any path.
+func badLeak(r *gpsr.Router) {
+	pkt := r.NewPacket() // want `NewPacket without a matching Release in badLeak`
+	r.Send(0, pkt)
+}
+
+// goodFactory returns the frame: ownership transfers to the caller.
+func goodFactory(r *gpsr.Router) *gpsr.Packet {
+	pkt := r.NewPacket()
+	pkt.Hops = 0
+	return pkt
+}
+
+// badAliasRecord reproduces the PR 6 OnOutcome aliasing bug verbatim: the
+// record keeps the recycled frame's Path backing array, which the pool
+// truncates and the next packet rewrites.
+func badAliasRecord(r *gpsr.Router, rec *Record) {
+	pkt := r.NewPacket()
+	pkt.OnOutcome = func(_ gpsr.NodeID, gp *gpsr.Packet, _ gpsr.Outcome) {
+		rec.Hops = gp.Hops
+		rec.Path = gp.Path // want `store aliases a pooled frame's slice`
+		r.Release(gp)
+	}
+	r.Send(0, pkt)
+}
+
+// badAliasViaLocal launders the alias through a local before storing it.
+func badAliasViaLocal(r *gpsr.Router, rec *Record) {
+	pkt := r.NewPacket()
+	pkt.OnOutcome = func(_ gpsr.NodeID, gp *gpsr.Packet, _ gpsr.Outcome) {
+		path := gp.Path
+		rec.Path = path // want `store aliases a pooled frame's slice`
+		r.Release(gp)
+	}
+	r.Send(0, pkt)
+}
+
+// badAliasAppendDest reslices the frame's array as an append destination:
+// the result still shares the recycled backing array.
+func badAliasAppendDest(r *gpsr.Router, rec *Record, extra gpsr.NodeID) {
+	pkt := r.NewPacket()
+	pkt.OnOutcome = func(_ gpsr.NodeID, gp *gpsr.Packet, _ gpsr.Outcome) {
+		rec.Path = append(gp.Path[:0], extra) // want `store aliases a pooled frame's slice`
+		r.Release(gp)
+	}
+	r.Send(0, pkt)
+}
+
+// badReturnAlias hands the frame's slice to the caller while the frame goes
+// back to the pool.
+func badReturnAlias(r *gpsr.Router, pkt *gpsr.Packet) []gpsr.NodeID {
+	defer r.Release(pkt)
+	return pkt.Path // want `return aliases a pooled frame's slice`
+}
+
+// badCompositeAlias embeds the frame's slice in a longer-lived value.
+func badCompositeAlias(pkt *gpsr.Packet) Record {
+	return Record{Path: pkt.Path} // want `composite literal aliases a pooled frame's slice`
+}
+
+// goodFrameSelfAppend grows the frame's own Path: the frame mutating itself
+// is the routing layer's normal operation.
+func goodFrameSelfAppend(pkt *gpsr.Packet, at gpsr.NodeID) {
+	pkt.Path = append(pkt.Path, at)
+}
+
+// goodScalarCopy copies scalars out of the frame; only slice fields alias.
+func goodScalarCopy(pkt *gpsr.Packet, rec *Record) {
+	rec.Hops = pkt.Hops
+}
+
+// annotated carries a reviewed escape hatch and is accepted.
+func annotated(r *gpsr.Router) *gpsr.Packet {
+	//lint:allowpoollifetime fixture: released by the protocol layer that consumes the frame
+	pkt := r.NewPacket()
+	r.Send(0, pkt)
+	return nil
+}

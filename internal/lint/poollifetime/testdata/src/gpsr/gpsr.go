@@ -1,0 +1,47 @@
+// Fixture stand-in for internal/gpsr: the short import path "gpsr" matches
+// the analyzer's package patterns by final path element. Mirrors the pooled
+// frame's shape — a Packet with a recycled Path slice and an OnOutcome
+// callback, issued by NewPacket and recycled by Release.
+package gpsr
+
+// NodeID identifies a node (stand-in for medium.NodeID).
+type NodeID int
+
+// Outcome is a terminal routing outcome.
+type Outcome int
+
+// Packet is the pooled routing frame.
+type Packet struct {
+	Hops      int
+	Path      []NodeID
+	OnOutcome func(at NodeID, pkt *Packet, out Outcome)
+}
+
+// Router owns the frame pool.
+type Router struct {
+	freePkts []*Packet
+}
+
+// NewPacket takes a frame from the pool (or allocates one).
+func (r *Router) NewPacket() *Packet {
+	if n := len(r.freePkts); n > 0 {
+		p := r.freePkts[n-1]
+		r.freePkts = r.freePkts[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// Release returns a finished frame to the pool. The truncate-and-store
+// shape is the pool recycling the frame it owns: storing back into a
+// frame-typed object is accepted without annotation.
+func (r *Router) Release(p *Packet) {
+	path := p.Path[:0]
+	*p = Packet{Path: path}
+	r.freePkts = append(r.freePkts, p)
+}
+
+// Send begins routing pkt.
+func (r *Router) Send(from NodeID, pkt *Packet) {
+	pkt.Path = append(pkt.Path, from)
+}

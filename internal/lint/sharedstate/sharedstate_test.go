@@ -1,0 +1,12 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"alertmanet/internal/lint/linttest"
+	"alertmanet/internal/lint/sharedstate"
+)
+
+func TestSharedState(t *testing.T) {
+	linttest.Run(t, sharedstate.Analyzer, "a")
+}

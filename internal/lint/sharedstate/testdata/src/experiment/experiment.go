@@ -1,0 +1,15 @@
+// Fixture stand-in for internal/experiment: the short import path
+// "experiment" matches the analyzer's package patterns by final element.
+package experiment
+
+// Arena owns simulation substrate recycled across one worker's runs; it is
+// strictly worker-local.
+type Arena struct {
+	runs int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Use marks one run against the arena.
+func (a *Arena) Use() { a.runs++ }

@@ -1,0 +1,12 @@
+// Fixture stand-in for internal/metrics: the short import path "metrics"
+// matches the analyzer's package patterns by final path element.
+package metrics
+
+// RecordSlab is a block allocator whose records die on Reset; it tolerates
+// no concurrent access.
+type RecordSlab struct {
+	next int
+}
+
+// Reset rewinds the slab.
+func (s *RecordSlab) Reset() { s.next = 0 }

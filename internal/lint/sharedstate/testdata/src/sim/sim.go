@@ -1,0 +1,14 @@
+// Fixture stand-in for internal/sim: the short import path "sim" matches
+// the analyzer's package patterns by final path element.
+package sim
+
+// Engine is the single-threaded discrete-event scheduler.
+type Engine struct {
+	now float64
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the simulated clock.
+func (e *Engine) Now() float64 { return e.now }
