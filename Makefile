@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint allowlist race cover bench bench-smoke figures campaign-smoke analysis experiments fuzz clean
+.PHONY: all build test test-sharded vet lint allowlist race cover bench bench-smoke figures campaign-smoke analysis experiments fuzz clean
 
 all: build vet lint test
 
@@ -26,10 +26,19 @@ allowlist:
 test:
 	$(GO) test ./...
 
+# The same tier-1 suite with every simulation forced onto 2 engine shards
+# (golden corpus included): the cheap continuous proof that sharding is
+# behaviour-invariant, not just proven by the dedicated invariance tests.
+test-sharded:
+	ALERT_SHARDS=2 $(GO) test ./...
+
 # Race detection over the concurrency-bearing packages (the dynamic
-# backstop for the sharedstate analyzer).
+# backstop for the sharedstate analyzer): the harness worker pools, the
+# sharded event engine, and the packages its fork-join workers fan out
+# over (medium position sweeps, node construction, mobility walkers).
 race:
-	$(GO) test -race ./internal/experiment ./internal/campaign ./internal/sim
+	$(GO) test -race ./internal/experiment ./internal/campaign ./internal/sim \
+		./internal/medium ./internal/node ./internal/mobility
 
 # Coverage floor over the packages the telemetry layer threads through.
 # Each must stay at or above COVER_FLOOR percent statement coverage.
@@ -53,13 +62,17 @@ bench:
 # Single-iteration smoke over the root figure benchmarks, leaving a
 # machine-readable artifact (cmd/benchjson parses the text output) and
 # gating allocs/op against the committed baseline: allocation counts are
-# deterministic even at -benchtime=1x, so a regression is real. ns/op at
-# one iteration is jitter; the 400% tolerance only catches
-# order-of-magnitude blowups.
+# deterministic at -benchtime=1x for serial benchmarks, but the
+# multi-goroutine ones (parallel figure sweeps, campaign engine) jitter
+# by a few allocs/op of scheduler noise between identical-code runs —
+# -allocslack 16 absorbs that while still flagging any real per-event or
+# per-frame leak (those cost thousands of allocs/op here). ns/op at one
+# iteration is jitter; the 400% tolerance only catches order-of-magnitude
+# blowups.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr6.json
-	@echo "wrote BENCH_pr6.json"
-	$(GO) run ./cmd/benchjson -compare -tolerance 400 BENCH_pr4.json BENCH_pr6.json
+	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr8.json
+	@echo "wrote BENCH_pr8.json"
+	$(GO) run ./cmd/benchjson -compare -tolerance 400 -allocslack 16 BENCH_pr6.json BENCH_pr8.json
 
 # Regenerate every evaluation figure at paper fidelity (30 seeds) as one
 # parallel, resumable campaign: results stream to out/figures-campaign, so a
@@ -90,8 +103,10 @@ fuzz:
 	$(GO) test ./internal/mobility -fuzz FuzzParseNS2 -fuzztime 30s
 	$(GO) test ./internal/sim -fuzz FuzzSchedule -fuzztime 30s
 
-# BENCH_pr3/pr4/pr6.json are committed comparison baselines, not build
-# outputs — clean only removes the transient artifacts.
+# BENCH_pr3/pr4/pr6/pr8.json are committed comparison baselines, not build
+# outputs — clean only removes the transient artifacts. (bench-smoke
+# regenerates BENCH_pr8.json in place; the committed copy is the blessed
+# baseline for the next generation.)
 clean:
 	rm -f test_output.txt bench_output.txt BENCH_pr5.json
 	rm -rf out

@@ -8,6 +8,7 @@
 package alert
 
 import (
+	"fmt"
 	"io"
 	"runtime"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"alertmanet/internal/analysis"
 	"alertmanet/internal/campaign"
 	"alertmanet/internal/experiment"
+	"alertmanet/internal/geo"
 	"alertmanet/internal/telemetry"
 )
 
@@ -454,6 +456,43 @@ func BenchmarkEnergyPerDelivered(b *testing.B) {
 				e += experiment.MustRun(sc).EnergyPerDelivered
 			}
 			b.ReportMetric(e/float64(b.N)*1e3, "mJ/pkt")
+		})
+	}
+}
+
+// BenchmarkShardedThroughput measures the sharded event engine on the
+// 10k-node field it exists for: GPSR (the pure-geographic hot path) on a
+// 7000 m square with light CBR traffic, at 1, 2, 4 and 8 shards. Every
+// shard count simulates the byte-identical run — the determinism contract —
+// so the events/s column is a clean strong-scaling measurement of the
+// fork-join construction and position-sweep phases. On a single-CPU runner
+// the worker degree clamps to 1 and all rows read alike; the scaling claim
+// needs a multi-core machine (see EXPERIMENTS.md, "Sharded engine scaling").
+func BenchmarkShardedThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		// "=" rather than "-": benchjson strips a trailing -N as the
+		// GOMAXPROCS suffix, which would collapse the four rows to one name.
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				sc := experiment.DefaultScenario()
+				sc.Protocol = experiment.GPSR
+				sc.N = 10000
+				sc.Field = geo.Rect{Max: geo.Point{X: 7000, Y: 7000}}
+				sc.Pairs = 40
+				sc.Duration = 5
+				sc.DrainTime = 2
+				sc.Seed = int64(i + 1)
+				sc.Shards = shards
+				res, w, err := experiment.RunWorld(sc, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += w.Eng.Processed()
+				sink = res
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
 }

@@ -17,17 +17,28 @@
 //	go run ./cmd/benchjson -compare BENCH_pr4.json BENCH_pr6.json
 //
 // and exits non-zero if any benchmark present in both regressed its
-// allocs_per_op. Allocation counts — unlike ns/op — are deterministic even
-// under -benchtime=1x, so this is the one memory gate a smoke run can
-// enforce reliably. Timings are printed for context only unless a
+// allocs_per_op. Allocation counts — unlike ns/op — are deterministic
+// under -benchtime=1x for serial benchmarks, so the gate is exact by
+// default. Benchmarks that spin up goroutines (the parallel figure
+// sweeps, the campaign engine) jitter by a handful of allocs/op between
+// identical-code runs — the runtime allocates sudogs and grows stacks at
+// the scheduler's whim — so -allocslack grants an absolute allowance:
+//
+//	go run ./cmd/benchjson -compare -allocslack 16 old.json new.json
+//
+// A slack of 16 absorbs that scheduler noise while still catching any
+// real leak: these benchmarks run whole simulations at tens to hundreds
+// of thousands of allocs/op, so a per-event or per-frame leak shows up as
+// thousands. Growth within the slack is still printed (as "drift") so it
+// stays visible. Timings are printed for context only unless a
 // -tolerance is given:
 //
 //	go run ./cmd/benchjson -compare -tolerance 400 old.json new.json
 //
 // which additionally fails any shared benchmark whose ns_per_op grew by
-// more than that percentage. The allocation gate stays exact either way;
-// the tolerance exists because single-iteration timings jitter wildly, so
-// only a generous bound (an order-of-magnitude-ish blowup) is meaningful.
+// more than that percentage; the tolerance exists because
+// single-iteration timings jitter wildly, so only a generous bound (an
+// order-of-magnitude-ish blowup) is meaningful.
 package main
 
 import (
@@ -66,8 +77,10 @@ func main() {
 		fs := flag.NewFlagSet("benchjson -compare", flag.ExitOnError)
 		tolerance := fs.Float64("tolerance", 0,
 			"also fail when ns_per_op grows by more than this percentage (0 disables the timing gate)")
+		allocSlack := fs.Int64("allocslack", 0,
+			"allow allocs_per_op to grow by up to this many allocations (absorbs goroutine-scheduler jitter; 0 = exact)")
 		fs.Usage = func() {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance pct] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance pct] [-allocslack n] old.json new.json")
 			fs.PrintDefaults()
 		}
 		_ = fs.Parse(os.Args[2:]) // ExitOnError: Parse cannot return an error
@@ -79,7 +92,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -tolerance must be >= 0")
 			os.Exit(2)
 		}
-		report, regressed, err := compareFiles(fs.Arg(0), fs.Arg(1), *tolerance)
+		if *allocSlack < 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -allocslack must be >= 0")
+			os.Exit(2)
+		}
+		report, regressed, err := compareFiles(fs.Arg(0), fs.Arg(1), *tolerance, *allocSlack)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -105,8 +122,9 @@ func main() {
 
 // compareFiles loads two artifacts and renders the allocation diff. The
 // second return value reports whether any shared benchmark regressed its
-// allocs_per_op (or, when tolerance > 0, blew its ns_per_op bound).
-func compareFiles(oldPath, newPath string, tolerance float64) (string, bool, error) {
+// allocs_per_op beyond allocSlack (or, when tolerance > 0, blew its
+// ns_per_op bound).
+func compareFiles(oldPath, newPath string, tolerance float64, allocSlack int64) (string, bool, error) {
 	load := func(path string) (*document, error) {
 		b, err := os.ReadFile(path)
 		if err != nil {
@@ -126,15 +144,15 @@ func compareFiles(oldPath, newPath string, tolerance float64) (string, bool, err
 	if err != nil {
 		return "", false, err
 	}
-	return compare(oldDoc, newDoc, tolerance)
+	return compare(oldDoc, newDoc, tolerance, allocSlack)
 }
 
 // compare matches benchmarks by package+name and judges allocs_per_op
-// exactly; with tolerance > 0 it also judges ns_per_op against the
-// percentage bound. Benchmarks present on only one side are listed but
-// never judged: a new benchmark has no baseline, and a removed one gates
-// nothing.
-func compare(oldDoc, newDoc *document, tolerance float64) (string, bool, error) {
+// exactly (or within allocSlack absolute allocations); with tolerance > 0
+// it also judges ns_per_op against the percentage bound. Benchmarks
+// present on only one side are listed but never judged: a new benchmark
+// has no baseline, and a removed one gates nothing.
+func compare(oldDoc, newDoc *document, tolerance float64, allocSlack int64) (string, bool, error) {
 	key := func(b benchResult) string { return b.Package + "." + b.Name }
 	old := make(map[string]benchResult, len(oldDoc.Benchmarks))
 	for _, b := range oldDoc.Benchmarks {
@@ -151,9 +169,12 @@ func compare(oldDoc, newDoc *document, tolerance float64) (string, bool, error) 
 		matched++
 		delete(old, key(nb))
 		switch {
-		case nb.AllocsPerOp > ob.AllocsPerOp:
+		case nb.AllocsPerOp > ob.AllocsPerOp+allocSlack:
 			regressed = true
 			fmt.Fprintf(&sb, "  WORSE %-40s %d -> %d allocs/op\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
+		case nb.AllocsPerOp > ob.AllocsPerOp:
+			fmt.Fprintf(&sb, "  drift %-40s %d -> %d allocs/op (within slack %d)\n",
+				nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, allocSlack)
 		case nb.AllocsPerOp < ob.AllocsPerOp:
 			fmt.Fprintf(&sb, "  better %-39s %d -> %d allocs/op\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
 		}

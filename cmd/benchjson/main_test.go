@@ -74,7 +74,7 @@ func compareDocs(t *testing.T, oldB, newB []benchResult) (string, bool) {
 
 func compareDocsTol(t *testing.T, oldB, newB []benchResult, tolerance float64) (string, bool) {
 	t.Helper()
-	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, tolerance)
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, tolerance, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,9 +132,39 @@ func TestCompareIgnoresUnmatched(t *testing.T) {
 func TestCompareErrorsWithNothingInCommon(t *testing.T) {
 	_, _, err := compare(
 		&document{Benchmarks: []benchResult{{Package: "p", Name: "A"}}},
-		&document{Benchmarks: []benchResult{{Package: "p", Name: "B"}}}, 0)
+		&document{Benchmarks: []benchResult{{Package: "p", Name: "B"}}}, 0, 0)
 	if err == nil {
 		t.Fatal("disjoint artifacts must error, not silently pass")
+	}
+}
+
+func TestCompareAllocSlackAbsorbsJitter(t *testing.T) {
+	oldB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 197107}}
+	newB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 197120}} // +13: scheduler jitter
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("+13 allocs within slack 16 must pass")
+	}
+	if !strings.Contains(report, "drift") {
+		t.Fatalf("growth within slack should still be reported, got %q", report)
+	}
+}
+
+func TestCompareAllocSlackStillCatchesLeaks(t *testing.T) {
+	oldB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 20913}}
+	newB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 20930}} // +17: past the slack
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("+17 allocs past slack 16 must regress")
+	}
+	if !strings.Contains(report, "WORSE") {
+		t.Fatalf("report = %q", report)
 	}
 }
 

@@ -109,6 +109,7 @@ func cmdRun(args []string) error {
 	jobs := fs.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	retries := fs.Int("retries", 2, "execution attempts per cell")
 	maxEvents := fs.Uint64("max-events", 0, "per-cell event budget (0 = unlimited)")
+	shards := fs.Int("shards", 0, "event-engine shards per cell, power of two (0 = unsharded)")
 	cacheDir := fs.String("cache-dir", "", "content-addressed cell cache shared across campaigns")
 	outDir := fs.String("o", "", "also render each figure to <dir>/<name>.{txt,csv}")
 	format := fs.String("format", "text", "rendered figure format: text or csv")
@@ -132,6 +133,7 @@ func cmdRun(args []string) error {
 		Jobs:      *jobs,
 		Retries:   *retries,
 		MaxEvents: *maxEvents,
+		Shards:    *shards,
 		Store:     store,
 	}
 	if *cacheDir != "" {
@@ -167,6 +169,9 @@ func cmdRun(args []string) error {
 		for _, sc := range plan.Runs {
 			if eng.MaxEvents != 0 && sc.MaxEvents == 0 {
 				sc.MaxEvents = eng.MaxEvents
+			}
+			if eng.Shards != 0 && sc.Shards == 0 {
+				sc.Shards = eng.Shards
 			}
 			distinct[sc.Hash()] = true
 		}

@@ -75,6 +75,13 @@ type Engine struct {
 	// run whose event count exceeds it). Stamping happens before keying,
 	// so the bound is part of the cell's identity.
 	MaxEvents uint64
+	// Shards, when non-zero, is stamped onto every run cell that does not
+	// set its own: each simulation partitions its field into this many
+	// event-engine shards (experiment.Scenario.Shards). Like MaxEvents it
+	// is stamped before keying, so a sharded campaign and an unsharded one
+	// occupy distinct cache cells even though their results are
+	// byte-identical by the engine's determinism contract.
+	Shards int
 	// Store, when set, receives every resolved cell in request order.
 	Store *Store
 	// Cache, when set, memoizes results across campaigns.
@@ -117,6 +124,9 @@ func (e *Engine) RunBatch(cells []experiment.Scenario) ([]experiment.Result, err
 	for i, sc := range cells {
 		if e.MaxEvents != 0 && sc.MaxEvents == 0 {
 			sc.MaxEvents = e.MaxEvents
+		}
+		if e.Shards != 0 && sc.Shards == 0 {
+			sc.Shards = e.Shards
 		}
 		wrapped[i] = RunCell(sc)
 	}
@@ -306,6 +316,7 @@ func (e *Engine) executeAll(toRun []*pending) error {
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
+		//lint:allowsharedstate campaign worker: the arena (engine + record slab) is created inside the goroutine and never crosses it; cells resolve through e.note, which orders the store by request index
 		go func() {
 			defer wg.Done()
 			// Each worker recycles its simulation substrate (engine event
@@ -330,6 +341,7 @@ func (e *Engine) executeAll(toRun []*pending) error {
 			e.note(p)
 			continue
 		}
+		//lint:allowsharedstate work-distribution hand-off: the pending cell is owned by exactly one worker from this send until its e.note, then only read by the scheduler after wg.Wait
 		next <- p
 	}
 	close(next)

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestShardedWorkersParallelIdentical forces the fork-join worker pool to a
+// real multi-goroutine degree (the CI runner may expose a single CPU, where
+// buildArena's min(shards, GOMAXPROCS) would quietly stay serial) and checks
+// that genuinely concurrent world construction and position sweeps produce a
+// Result byte-identical to the unsharded serial build. Run under -race this
+// is also the data-race probe for every parallel phase: per-node network
+// construction, walker building, posGrid evaluation and the broadcast range
+// filter, across both disjoint-state mobility (random waypoint) and the
+// shared-reference-trajectory model (group mobility, via Preparer).
+func TestShardedWorkersParallelIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	base := DefaultScenario()
+	base.N = 80
+	base.Duration = 8
+	base.Pairs = 6
+
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"alert-rwp", func(sc *Scenario) { sc.Protocol = ALERT }},
+		{"gpsr-group", func(sc *Scenario) {
+			sc.Protocol = GPSR
+			sc.Mobility = GroupMobility
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base
+			tc.mut(&sc)
+			serial, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Shards = 4
+			sharded, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resultDigest(serial) != resultDigest(sharded) {
+				t.Fatalf("parallel sharded run diverged from serial:\nserial:  %+v\nsharded: %+v",
+					serial, sharded)
+			}
+		})
+	}
+}
+
+// TestEffectiveShards pins the shard-count resolution order: explicit
+// scenario value first, then the ALERT_SHARDS environment toggle, then 1;
+// malformed and non-power-of-two env values are errors rather than silent
+// fallbacks.
+func TestEffectiveShards(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Shards = 8
+	t.Setenv("ALERT_SHARDS", "2")
+	if k, err := effectiveShards(sc); err != nil || k != 8 {
+		t.Fatalf("explicit Shards should win: got %d, %v", k, err)
+	}
+	sc.Shards = 0
+	if k, err := effectiveShards(sc); err != nil || k != 2 {
+		t.Fatalf("env should apply at Shards=0: got %d, %v", k, err)
+	}
+	t.Setenv("ALERT_SHARDS", "")
+	if k, err := effectiveShards(sc); err != nil || k != 1 {
+		t.Fatalf("unset env should mean 1: got %d, %v", k, err)
+	}
+	for _, bad := range []string{"3", "0", "-2", "two"} {
+		t.Setenv("ALERT_SHARDS", bad)
+		if _, err := effectiveShards(sc); err == nil {
+			t.Errorf("ALERT_SHARDS=%q should be rejected", bad)
+		}
+	}
+}
+
+// TestScenarioShardsValidate: the scenario knob itself rejects negative and
+// non-power-of-two counts at validation time.
+func TestScenarioShardsValidate(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 4, 8, 16} {
+		sc := DefaultScenario()
+		sc.Shards = k
+		if err := sc.Validate(); err != nil {
+			t.Errorf("Shards=%d should validate: %v", k, err)
+		}
+	}
+	for _, k := range []int{-1, 3, 6, 12} {
+		sc := DefaultScenario()
+		sc.Shards = k
+		if err := sc.Validate(); err == nil {
+			t.Errorf("Shards=%d should fail validation", k)
+		}
+	}
+}
+
+// TestScenarioShardsHashNeutral: Shards=0 marshals away, so every
+// pre-sharding scenario hash, golden digest and campaign cache key is
+// untouched; any non-zero value is part of the identity.
+func TestScenarioShardsHashNeutral(t *testing.T) {
+	a := DefaultScenario()
+	b := a
+	b.Shards = 0
+	if a.Hash() != b.Hash() {
+		t.Fatal("Shards=0 must not perturb the scenario hash")
+	}
+	b.Shards = 2
+	if a.Hash() == b.Hash() {
+		t.Fatal("non-zero Shards must be part of the scenario hash")
+	}
+}

@@ -1,0 +1,121 @@
+package geo
+
+import "fmt"
+
+// ShardPlan partitions the field into K = 2^depth rectangular shards by the
+// same recursive bisection ALERT uses for destination zones (Section 2.4):
+// alternating cut directions starting with a vertical cut. The plan is the
+// spatial basis for the sharded event engine — each shard owns the nodes whose
+// initial position falls inside its zone, and nodes within a radio range of an
+// interior cut line form the border band whose frames cross shards.
+//
+// A plan is immutable after construction and safe for concurrent readers.
+type ShardPlan struct {
+	field Rect
+	depth int
+	zones []Rect
+}
+
+// NewShardPlan builds a plan with k shards over field. k must be a power of
+// two >= 1 (the bisection hierarchy only produces power-of-two leaf counts)
+// and field must be non-empty.
+func NewShardPlan(field Rect, k int) (*ShardPlan, error) {
+	if k < 1 || k&(k-1) != 0 {
+		return nil, fmt.Errorf("geo: shard count %d is not a power of two", k)
+	}
+	if field.Empty() {
+		return nil, fmt.Errorf("geo: cannot shard empty field %v", field)
+	}
+	depth := 0
+	for 1<<depth < k {
+		depth++
+	}
+	p := &ShardPlan{field: field, depth: depth, zones: make([]Rect, k)}
+	for i := range p.zones {
+		p.zones[i] = p.zoneOf(i)
+	}
+	return p, nil
+}
+
+// zoneOf reconstructs shard i's rectangle by replaying its bisection path:
+// bit depth-1 of i selects the half of the first (vertical) cut, and so on
+// down to bit 0. This is the inverse of ShardOf's descent.
+func (p *ShardPlan) zoneOf(i int) Rect {
+	zone := p.field
+	dir := Vertical
+	for level := p.depth - 1; level >= 0; level-- {
+		lo, hi := zone.Bisect(dir)
+		if i>>uint(level)&1 == 0 {
+			zone = lo
+		} else {
+			zone = hi
+		}
+		dir = dir.Flip()
+	}
+	return zone
+}
+
+// Shards returns the number of shards K.
+func (p *ShardPlan) Shards() int { return len(p.zones) }
+
+// Field returns the whole partitioned field.
+func (p *ShardPlan) Field() Rect { return p.field }
+
+// Zone returns shard i's rectangle.
+func (p *ShardPlan) Zone(i int) Rect { return p.zones[i] }
+
+// ShardOf maps a point to the shard owning it: descend the bisection
+// hierarchy, at each level appending the SideIndex bit (strictly-below-the-cut
+// goes lo, ties go hi — the same deterministic rule DestZone uses). Points
+// outside the field are clamped first so every position has an owner.
+func (p *ShardPlan) ShardOf(pt Point) int {
+	pt = p.field.Clamp(pt)
+	zone := p.field
+	dir := Vertical
+	idx := 0
+	for level := 0; level < p.depth; level++ {
+		s := zone.SideIndex(dir, pt)
+		idx = idx<<1 | s
+		lo, hi := zone.Bisect(dir)
+		if s == 0 {
+			zone = lo
+		} else {
+			zone = hi
+		}
+		dir = dir.Flip()
+	}
+	return idx
+}
+
+// Border reports whether pt lies within margin of an interior shard boundary
+// — an edge of its shard zone that is not also an edge of the field. Nodes in
+// this band are the ones whose frames can reach a neighbor owned by another
+// shard, so they bound the cross-shard traffic the sharded engine must
+// exchange.
+func (p *ShardPlan) Border(pt Point, margin float64) bool {
+	if p.depth == 0 {
+		return false
+	}
+	z := p.zones[p.ShardOf(pt)]
+	pt = p.field.Clamp(pt)
+	// Zone edges are either copied exactly from the field rect or produced
+	// by a cut; comparing against the field's own coordinates is an identity
+	// test on copied values, not an approximate-equality question.
+	//lint:allowfloatcompare zone edge equals the field edge exactly when uncut (copied value identity)
+	if z.Min.X != p.field.Min.X && pt.X-z.Min.X < margin {
+		return true
+	}
+	//lint:allowfloatcompare zone edge equals the field edge exactly when uncut (copied value identity)
+	if z.Max.X != p.field.Max.X && z.Max.X-pt.X < margin {
+		return true
+	}
+	//lint:allowfloatcompare zone edge equals the field edge exactly when uncut (copied value identity)
+	if z.Min.Y != p.field.Min.Y && pt.Y-z.Min.Y < margin {
+		return true
+	}
+	//lint:allowfloatcompare zone edge equals the field edge exactly when uncut (copied value identity)
+	if z.Max.Y != p.field.Max.Y && z.Max.Y-pt.Y < margin {
+		return true
+	}
+	return false
+}

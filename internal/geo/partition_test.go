@@ -1,0 +1,121 @@
+package geo
+
+import "testing"
+
+func TestShardPlanValidation(t *testing.T) {
+	field := Rect{Max: Point{1000, 1000}}
+	for _, k := range []int{0, -1, 3, 6, 12} {
+		if _, err := NewShardPlan(field, k); err == nil {
+			t.Errorf("NewShardPlan(k=%d): want error, got nil", k)
+		}
+	}
+	if _, err := NewShardPlan(Rect{}, 2); err == nil {
+		t.Error("NewShardPlan(empty field): want error, got nil")
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		p, err := NewShardPlan(field, k)
+		if err != nil {
+			t.Fatalf("NewShardPlan(k=%d): %v", k, err)
+		}
+		if p.Shards() != k {
+			t.Errorf("Shards() = %d, want %d", p.Shards(), k)
+		}
+	}
+}
+
+// Every zone must tile the field: equal areas, and ShardOf(center of zone i)
+// must be i (zones and the descent agree).
+func TestShardPlanZonesTile(t *testing.T) {
+	field := Rect{Min: Point{100, 50}, Max: Point{2100, 1050}}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		p, _ := NewShardPlan(field, k)
+		var total float64
+		for i := 0; i < k; i++ {
+			z := p.Zone(i)
+			total += z.Area()
+			if got := p.ShardOf(z.Center()); got != i {
+				t.Errorf("k=%d: ShardOf(Zone(%d).Center()) = %d", k, i, got)
+			}
+			if !field.ContainsRect(z) {
+				t.Errorf("k=%d: zone %d %v outside field", k, i, z)
+			}
+		}
+		if diff := total - field.Area(); diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("k=%d: zone areas sum to %g, field is %g", k, total, field.Area())
+		}
+	}
+}
+
+// The plan must follow the paper's convention: first cut vertical, then
+// alternating. For k=2 the two zones are left/right halves; for k=4 each of
+// those is split top/bottom.
+func TestShardPlanCutOrder(t *testing.T) {
+	field := Rect{Max: Point{1000, 1000}}
+	p2, _ := NewShardPlan(field, 2)
+	if z := p2.Zone(0); z.Max.X != 500 || z.Max.Y != 1000 {
+		t.Errorf("k=2 zone 0 = %v, want left half", z)
+	}
+	p4, _ := NewShardPlan(field, 4)
+	want := []Rect{
+		NewRect(Point{0, 0}, Point{500, 500}),
+		NewRect(Point{0, 500}, Point{500, 1000}),
+		NewRect(Point{500, 0}, Point{1000, 500}),
+		NewRect(Point{500, 500}, Point{1000, 1000}),
+	}
+	for i, w := range want {
+		if p4.Zone(i) != w {
+			t.Errorf("k=4 zone %d = %v, want %v", i, p4.Zone(i), w)
+		}
+	}
+}
+
+// ShardOf must agree with Zone containment, assign cut-line ties to the hi
+// side (the Side rule), and clamp out-of-field points to a valid shard.
+func TestShardOf(t *testing.T) {
+	field := Rect{Max: Point{1000, 1000}}
+	p, _ := NewShardPlan(field, 4)
+	cases := []struct {
+		pt   Point
+		want int
+	}{
+		{Point{10, 10}, 0},
+		{Point{10, 990}, 1},
+		{Point{990, 10}, 2},
+		{Point{990, 990}, 3},
+		{Point{500, 500}, 3},  // both ties go hi
+		{Point{499, 500}, 1},  // x strictly below cut, y tie
+		{Point{-50, -50}, 0},  // clamped
+		{Point{2000, 2000}, 3}, // clamped
+	}
+	for _, c := range cases {
+		if got := p.ShardOf(c.pt); got != c.want {
+			t.Errorf("ShardOf(%v) = %d, want %d", c.pt, got, c.want)
+		}
+	}
+}
+
+func TestBorder(t *testing.T) {
+	field := Rect{Max: Point{1000, 1000}}
+	p1, _ := NewShardPlan(field, 1)
+	if p1.Border(Point{500, 500}, 250) {
+		t.Error("k=1 has no interior boundaries")
+	}
+	p4, _ := NewShardPlan(field, 4)
+	cases := []struct {
+		pt     Point
+		margin float64
+		want   bool
+	}{
+		{Point{260, 250}, 250, true},   // near the vertical cut at x=500
+		{Point{250, 260}, 250, true},   // near the horizontal cut at y=500
+		{Point{100, 100}, 250, false},  // interior corner far from cuts
+		{Point{2, 2}, 250, false},      // near the field edge only
+		{Point{501, 900}, 250, true},   // just hi of the vertical cut
+		{Point{100, 100}, 500, true},   // margin large enough to reach a cut
+	}
+	for _, c := range cases {
+		if got := p4.Border(c.pt, c.margin); got != c.want {
+			t.Errorf("Border(%v, %g) = %v, want %v", c.pt, c.margin, got, c.want)
+		}
+	}
+}

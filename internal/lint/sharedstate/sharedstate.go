@@ -38,6 +38,20 @@ var guarded = []struct {
 	{"RecordSlab", []string{"internal/metrics"}},
 }
 
+// substratePkgs lists the packages forming the sharded engine's concurrency
+// surface: the engine itself, the medium that homes events onto shards, and
+// the two harness layers that fan simulations out over workers. Inside them
+// EVERY go statement and channel send — not just ones moving a guarded
+// type — is a synchronization site of the determinism contract and must
+// carry a reviewed //lint:allowsharedstate annotation stating why the
+// hand-off cannot reorder observable events.
+var substratePkgs = []string{
+	"internal/sim",
+	"internal/medium",
+	"internal/experiment",
+	"internal/campaign",
+}
+
 var Analyzer = &analysis.Analyzer{
 	Name: "sharedstate",
 	Doc: "flag single-goroutine simulation state crossing a goroutine boundary\n\n" +
@@ -45,7 +59,10 @@ var Analyzer = &analysis.Analyzer{
 		"by design (no locks; determinism wants one goroutine per simulation).\n" +
 		"Passing one to a `go` call, capturing one in a goroutine's closure, or\n" +
 		"sending one on a channel is reported. State created inside the goroutine\n" +
-		"(a worker-local arena) is fine. _test.go files are exempt.\n" +
+		"(a worker-local arena) is fine. In the substrate packages themselves\n" +
+		"(internal/sim, internal/medium, internal/experiment, internal/campaign)\n" +
+		"the rule hardens: every go statement and channel send is a reviewed\n" +
+		"synchronization site and must be annotated. _test.go files are exempt.\n" +
 		"Escape hatch: //lint:allowsharedstate <reason> on the go/send statement.",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
@@ -54,6 +71,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	markers := lintutil.NewMarkers(pass)
+	substrate := lintutil.PackageMatchesAny(pass.Pkg.Path(), substratePkgs)
 
 	allowed := func(pos ast.Node) bool {
 		if lintutil.IsTestFile(pass, pos.Pos()) {
@@ -69,9 +87,19 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if allowed(x) {
 				return
 			}
+			if substrate {
+				pass.Reportf(x.Pos(),
+					"goroutine in engine substrate package %s: every substrate goroutine is a synchronization site of the determinism contract; annotate //lint:allowsharedstate <reason> after review", pass.Pkg.Path())
+				return
+			}
 			checkGo(pass, x)
 		case *ast.SendStmt:
 			if allowed(x) {
+				return
+			}
+			if substrate {
+				pass.Reportf(x.Pos(),
+					"channel send in engine substrate package %s: every substrate hand-off is a synchronization site of the determinism contract; annotate //lint:allowsharedstate <reason> after review", pass.Pkg.Path())
 				return
 			}
 			if name := guardedTypeName(pass.TypesInfo.TypeOf(x.Value)); name != "" {

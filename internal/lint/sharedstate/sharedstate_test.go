@@ -8,5 +8,5 @@ import (
 )
 
 func TestSharedState(t *testing.T) {
-	linttest.Run(t, sharedstate.Analyzer, "a")
+	linttest.Run(t, sharedstate.Analyzer, "a", "medium")
 }

@@ -26,6 +26,26 @@ type Model interface {
 	Field() geo.Rect
 }
 
+// Forker runs fn over a disjoint partition of [0, n) and returns when every
+// call has — satisfied by *sim.Workers without importing it. Construction
+// loops whose per-index work is independent (per-node walkers with private
+// split rng streams) use it to build large fields on all cores; a nil
+// Forker means serial. Constructors branch on nil rather than funnel
+// through a helper so the serial path allocates no closures.
+type Forker interface {
+	For(n int, fn func(lo, hi int))
+}
+
+// Preparer is implemented by models whose Position reads shared lazily
+// extended state (GroupMobility's group reference trajectories). Prepare
+// extends that state through time t, so subsequent Position calls at times
+// <= t mutate only per-id state and may safely run concurrently over
+// disjoint id ranges. Models without shared state (RandomWaypoint's and
+// Static's per-node state is already disjoint) do not implement it.
+type Preparer interface {
+	Prepare(t float64)
+}
+
 // leg is one straight movement segment: travel from 'from' toward 'to'
 // starting at t0, then pause until pauseEnd.
 type leg struct {
@@ -131,6 +151,11 @@ type Config struct {
 	// state (center-weighted) instead of the uniform initial placement —
 	// the classic RWP initialization-bias correction.
 	Warmup float64
+	// Fork, when non-nil, parallelizes per-node construction. Each node's
+	// walker draws only from its own index-split rng stream, so the
+	// trajectories are identical for any Fork degree; only build wall time
+	// changes.
+	Fork Forker `json:"-"`
 }
 
 // Fixed returns a Config with a single fixed speed and no pause.
@@ -141,10 +166,22 @@ func Fixed(speed float64) Config {
 // NewRandomWaypoint creates a random waypoint model for n nodes on field.
 func NewRandomWaypoint(field geo.Rect, n int, cfg Config, src *rng.Source) *RandomWaypoint {
 	m := &RandomWaypoint{field: field, walkers: make([]*walker, n), warmup: cfg.Warmup}
-	for i := 0; i < n; i++ {
-		m.walkers[i] = newWalker(src.SplitIndex("rwp", i), field,
-			cfg.MinSpeed, cfg.MaxSpeed, cfg.Pause)
+	// SplitIndex derives each stream from the immutable parent seed, and
+	// every walker draws only from its own stream, so construction order is
+	// free: the parallel build is trajectory-identical to the serial one.
+	if cfg.Fork == nil {
+		for i := 0; i < n; i++ {
+			m.walkers[i] = newWalker(src.SplitIndex("rwp", i), field,
+				cfg.MinSpeed, cfg.MaxSpeed, cfg.Pause)
+		}
+		return m
 	}
+	cfg.Fork.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.walkers[i] = newWalker(src.SplitIndex("rwp", i), field,
+				cfg.MinSpeed, cfg.MaxSpeed, cfg.Pause)
+		}
+	})
 	return m
 }
 
@@ -221,21 +258,47 @@ func NewGroupMobility(field geo.Rect, n, numGroups int, groupRange float64,
 	if refField.Empty() {
 		refField = field
 	}
-	for gi := 0; gi < numGroups; gi++ {
-		g.refs[gi] = newWalker(src.SplitIndex("group-ref", gi), refField,
-			cfg.MinSpeed, cfg.MaxSpeed, cfg.Pause)
-	}
 	localBox := geo.Rect{Min: geo.Point{X: -half, Y: -half}, Max: geo.Point{X: half, Y: half}}
-	for i := 0; i < n; i++ {
-		g.groupOf[i] = i * numGroups / n
-		// Members drift within their box at a fraction of the group
-		// speed, which keeps intra-group topology relatively stable —
-		// the property the paper leans on ("nodes are less randomly
-		// distributed in the group mobility model").
-		g.local[i] = newWalker(src.SplitIndex("group-local", i), localBox,
-			cfg.MinSpeed/2, cfg.MaxSpeed/2, cfg.Pause)
+	// Members drift within their box at a fraction of the group speed,
+	// which keeps intra-group topology relatively stable — the property
+	// the paper leans on ("nodes are less randomly distributed in the
+	// group mobility model"). The loops are written out twice so the
+	// serial path allocates no closures.
+	if cfg.Fork == nil {
+		for gi := 0; gi < numGroups; gi++ {
+			g.refs[gi] = newWalker(src.SplitIndex("group-ref", gi), refField,
+				cfg.MinSpeed, cfg.MaxSpeed, cfg.Pause)
+		}
+		for i := 0; i < n; i++ {
+			g.groupOf[i] = i * numGroups / n
+			g.local[i] = newWalker(src.SplitIndex("group-local", i), localBox,
+				cfg.MinSpeed/2, cfg.MaxSpeed/2, cfg.Pause)
+		}
+		return g
 	}
+	cfg.Fork.For(numGroups, func(lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			g.refs[gi] = newWalker(src.SplitIndex("group-ref", gi), refField,
+				cfg.MinSpeed, cfg.MaxSpeed, cfg.Pause)
+		}
+	})
+	cfg.Fork.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.groupOf[i] = i * numGroups / n
+			g.local[i] = newWalker(src.SplitIndex("group-local", i), localBox,
+				cfg.MinSpeed/2, cfg.MaxSpeed/2, cfg.Pause)
+		}
+	})
 	return g
+}
+
+// Prepare implements Preparer: it extends every group's shared reference
+// trajectory through time t, after which Position calls at times <= t only
+// read the reference legs and mutate the caller's own local walker.
+func (g *GroupMobility) Prepare(t float64) {
+	for _, r := range g.refs {
+		r.extend(t)
+	}
 }
 
 // Position implements Model: reference point plus bounded local offset,

@@ -93,16 +93,37 @@ func NewNetwork(eng *sim.Engine, med *medium.Medium, suite crypt.Suite,
 	}
 	n := med.N()
 	net.Nodes = make([]*Node, n)
-	for i := 0; i < n; i++ {
-		nd := &Node{
-			ID:  medium.NodeID(i),
-			MAC: 0x02_00_00_00_00_00 | uint64(i), // locally-administered space
-			net: net,
-			rnd: net.rnd.SplitIndex("n", i),
+	// Per-node creation forks across the engine's worker pool: each node's
+	// rng stream, key pair and initial pseudonym derive only from
+	// index-split sources (SplitIndex reads the immutable parent seed), so
+	// the built world is byte-identical for any worker degree. The serial
+	// degree keeps its own loop so an unsharded build allocates no closure.
+	if w := eng.Workers(); w.Degree() > 1 {
+		w.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				nd := &Node{
+					ID:  medium.NodeID(i),
+					MAC: 0x02_00_00_00_00_00 | uint64(i), // locally-administered space
+					net: net,
+					rnd: net.rnd.SplitIndex("n", i),
+				}
+				nd.Pub, nd.Priv = suite.GenerateKeyPair(i)
+				nd.rotatePseudonym()
+				net.Nodes[i] = nd
+			}
+		})
+	} else {
+		for i := 0; i < n; i++ {
+			nd := &Node{
+				ID:  medium.NodeID(i),
+				MAC: 0x02_00_00_00_00_00 | uint64(i), // locally-administered space
+				net: net,
+				rnd: net.rnd.SplitIndex("n", i),
+			}
+			nd.Pub, nd.Priv = suite.GenerateKeyPair(i)
+			nd.rotatePseudonym()
+			net.Nodes[i] = nd
 		}
-		nd.Pub, nd.Priv = suite.GenerateKeyPair(i)
-		nd.rotatePseudonym()
-		net.Nodes[i] = nd
 	}
 	if cfg.PseudonymLifetime > 0 {
 		for _, nd := range net.Nodes {

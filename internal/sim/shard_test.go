@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// testLookahead is the conservative bound used by the shard tests: every
+// cross-shard schedule in them carries at least this delay.
+const testLookahead = 0.25
+
+// fuzzFire is one fired event in a comparison log: its id pins the global
+// schedule order, its time the merge order.
+type fuzzFire struct {
+	id EventID
+	at Time
+}
+
+// runShardProgram interprets a byte program (the FuzzSchedule op encoding)
+// on a k-shard engine: one-shots homed round-robin by their argument, each
+// chaining a child one shard over on fire (sometimes cancelling it while it
+// is still in flight), plus cancels and tickers. Returns the fire log.
+func runShardProgram(t *testing.T, k int, program []byte) []fuzzFire {
+	t.Helper()
+	e := NewShardedEngine(k, testLookahead)
+	var log []fuzzFire
+	var ids []EventID
+	cancelled := map[EventID]bool{}
+	for i := 0; i+1 < len(program); i += 2 {
+		op, arg := program[i]%3, program[i+1]
+		switch op {
+		case 0: // homed one-shot chaining a cross-shard child
+			delay := float64(arg) / 16
+			home := int(arg) % k
+			var id EventID
+			id = e.ScheduleOn(home, delay, func() {
+				log = append(log, fuzzFire{id, e.Now()})
+				var child EventID
+				child = e.ScheduleOn((home+1)%k, testLookahead+float64(arg%7)/8, func() {
+					log = append(log, fuzzFire{child, e.Now()})
+				})
+				if arg%5 == 0 {
+					// Cancel the child while it is parked in the target
+					// shard's mailbox (k>1) or freshly heaped (k=1).
+					e.Cancel(child)
+				}
+			})
+			ids = append(ids, id)
+		case 1: // cancel an issued id, or a bogus one
+			if len(ids) > 0 {
+				id := ids[int(arg)%len(ids)]
+				if !cancelled[id] {
+					e.Cancel(id)
+					cancelled[id] = true
+				}
+			}
+			e.Cancel(EventID(1e9) + EventID(arg))
+		case 2: // ticker with a bounded horizon
+			start := float64(arg % 8)
+			interval := float64(arg%5+1) / 4
+			until := float64(arg % 16)
+			e.TickerUntil(start, interval, until, func(at Time) {
+				log = append(log, fuzzFire{0, at})
+			})
+		}
+		checkInvariants(t, e)
+	}
+	e.SetMaxEvents(100000)
+	if err := e.Run(); err != nil {
+		t.Fatalf("k=%d: Run() = %v", k, err)
+	}
+	checkInvariants(t, e)
+	if e.Pending() != 0 {
+		t.Fatalf("k=%d: %d events pending after Run", k, e.Pending())
+	}
+	return log
+}
+
+// compareFireLogs fails the test unless the two logs are identical.
+func compareFireLogs(t *testing.T, k int, ref, got []fuzzFire) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("k=%d fired %d events, k=1 fired %d", k, len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("k=%d diverges at fire %d: got %+v, k=1 had %+v", k, i, got[i], ref[i])
+		}
+	}
+}
+
+// The shard-count invariance contract at the engine level: the same program
+// produces the identical fire sequence for 1, 2, 4 and 8 shards.
+func TestShardCountInvariance(t *testing.T) {
+	program := []byte{
+		0, 10, 0, 5, 2, 9, 0, 17, 1, 0, 0, 40, 2, 13, 0, 3,
+		0, 128, 1, 2, 0, 65, 0, 200, 2, 6, 0, 15, 1, 1, 0, 99,
+	}
+	ref := runShardProgram(t, 1, program)
+	if len(ref) == 0 {
+		t.Fatal("reference program fired nothing")
+	}
+	for _, k := range []int{2, 4, 8} {
+		compareFireLogs(t, k, ref, runShardProgram(t, k, program))
+	}
+}
+
+// Cross-shard schedules made during execution must be parked in mailboxes
+// and counted as border traffic; same-shard and idle-time schedules must
+// not.
+func TestCrossShardMailbox(t *testing.T) {
+	e := NewShardedEngine(2, testLookahead)
+	if e.Shards() != 2 || e.Lookahead() != testLookahead {
+		t.Fatalf("Shards()=%d Lookahead()=%v", e.Shards(), e.Lookahead())
+	}
+	// Idle-time schedule onto shard 1: direct heap insertion, not border
+	// traffic.
+	fired := 0
+	e.ScheduleOn(1, 1, func() {
+		fired++
+		// Same-shard chain: not border traffic.
+		e.Schedule(0.5, func() { fired++ })
+		// Cross-shard chain: mailboxed.
+		e.ScheduleOn(0, testLookahead, func() { fired++ })
+	})
+	if e.CrossShardScheduled() != 0 {
+		t.Fatalf("idle-time schedule counted as cross-shard")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d events, want 3", fired)
+	}
+	if e.CrossShardScheduled() != 1 {
+		t.Fatalf("CrossShardScheduled() = %d, want 1", e.CrossShardScheduled())
+	}
+}
+
+// A cross-shard schedule landing inside the open lookahead window is a
+// contract violation the engine must refuse loudly, not execute out of
+// order.
+func TestCrossShardLookaheadViolationPanics(t *testing.T) {
+	e := NewShardedEngine(2, testLookahead)
+	e.ScheduleOn(0, 1, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("cross-shard schedule inside the window did not panic")
+				return
+			}
+			if !strings.Contains(r.(string), "inside window") {
+				t.Errorf("unexpected panic %v", r)
+			}
+		}()
+		e.ScheduleOn(1, testLookahead/2, func() {})
+	})
+	// Park a second event on shard 1 so a window is genuinely open across
+	// both shards.
+	e.ScheduleOn(1, 2, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetShardsGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	e := NewEngine()
+	mustPanic("SetShards(0)", func() { e.SetShards(0) })
+	mustPanic("SetLookahead(-1)", func() { e.SetLookahead(-1) })
+	e.Schedule(1, func() {})
+	mustPanic("SetShards with pending events", func() { e.SetShards(2) })
+	mustPanic("schedule on out-of-range shard", func() { e.ScheduleOn(3, 1, func() {}) })
+}
+
+// Reset must return a sharded engine to the single-shard NewEngine state
+// and recycle everything parked in mailboxes.
+func TestResetClearsShardState(t *testing.T) {
+	e := NewShardedEngine(4, testLookahead)
+	e.ScheduleOn(2, 1, func() {
+		e.ScheduleOn(3, 5, func() {})
+	})
+	if err := e.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	if e.Shards() != 1 || e.Lookahead() != 0 || e.Pending() != 0 || e.Now() != 0 {
+		t.Fatalf("Reset left shards=%d lookahead=%v pending=%d now=%v",
+			e.Shards(), e.Lookahead(), e.Pending(), e.Now())
+	}
+	if e.CrossShardScheduled() != 0 {
+		t.Fatalf("Reset kept cross-shard counter %d", e.CrossShardScheduled())
+	}
+	// The engine is usable as a plain single-shard engine afterwards.
+	ran := false
+	e.Schedule(1, func() { ran = true })
+	if err := e.Run(); err != nil || !ran {
+		t.Fatalf("post-Reset run: err=%v ran=%v", err, ran)
+	}
+}
+
+// The free-pool conservation contract (the PR's leak fix): schedule/cancel/
+// run cycles — including cross-shard chains and cancels of in-flight
+// mailboxed events — return every event struct to the pool, so steady-state
+// cycles neither grow the pool nor allocate.
+func TestPoolConservation(t *testing.T) {
+	e := NewShardedEngine(2, testLookahead)
+	ids := make([]EventID, 0, 128)
+	cycle := func() {
+		ids = ids[:0]
+		for i := 0; i < 96; i++ {
+			home := i % 2
+			delay := float64(i%11) / 8
+			id := e.ScheduleOn(home, delay, func() {
+				child := e.ScheduleOn(1-home, testLookahead+delay, func() {})
+				if i%3 == 0 {
+					e.Cancel(child)
+				}
+			})
+			ids = append(ids, id)
+		}
+		for i := 0; i < len(ids); i += 4 {
+			e.Cancel(ids[i])
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Run also exercises the dead-peek defensive path via cancelled
+		// events; afterwards every struct must be back in the pool.
+		if e.Pending() != 0 {
+			t.Fatalf("%d events pending after cycle", e.Pending())
+		}
+	}
+	cycle()
+	base := e.FreeEvents()
+	if base == 0 {
+		t.Fatal("warm-up cycle left an empty pool")
+	}
+	for i := 0; i < 50; i++ {
+		cycle()
+		if got := e.FreeEvents(); got != base {
+			t.Fatalf("cycle %d: free pool %d, want steady-state %d", i, got, base)
+		}
+	}
+}
