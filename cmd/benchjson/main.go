@@ -29,9 +29,21 @@
 // A slack of 16 absorbs that scheduler noise while still catching any
 // real leak: these benchmarks run whole simulations at tens to hundreds
 // of thousands of allocs/op, so a per-event or per-frame leak shows up as
-// thousands. Growth within the slack is still printed (as "drift") so it
-// stays visible. Timings are printed for context only unless a
-// -tolerance is given:
+// thousands. Comparisons across different binaries (the usual CI case:
+// old baseline, new code) drift further than same-binary reruns — a
+// changed binary shifts GC pacing, and each extra GC cycle re-fills the
+// worker pools — and that drift scales with the benchmark's total
+// allocation count (~0.03% of allocs/op in practice, where a real leak
+// costs 2% and up). -allocslackpct grants a slack proportional to the
+// baseline for exactly that; the effective slack per benchmark is the
+// larger of the two allowances:
+//
+//	go run ./cmd/benchjson -compare -allocslack 16 -allocslackpct 0.25 old.json new.json
+//
+// so small benchmarks keep the tight absolute bound and big ones get
+// noise-proofed without ever excusing a real leak. Growth within the
+// slack is still printed (as "drift") so it stays visible. Timings are
+// printed for context only unless a -tolerance is given:
 //
 //	go run ./cmd/benchjson -compare -tolerance 400 old.json new.json
 //
@@ -79,8 +91,10 @@ func main() {
 			"also fail when ns_per_op grows by more than this percentage (0 disables the timing gate)")
 		allocSlack := fs.Int64("allocslack", 0,
 			"allow allocs_per_op to grow by up to this many allocations (absorbs goroutine-scheduler jitter; 0 = exact)")
+		allocSlackPct := fs.Float64("allocslackpct", 0,
+			"also allow allocs_per_op to grow by this percentage of the baseline (absorbs cross-binary GC-pacing drift, which scales with benchmark size; the effective slack is the larger of the two)")
 		fs.Usage = func() {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance pct] [-allocslack n] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance pct] [-allocslack n] [-allocslackpct pct] old.json new.json")
 			fs.PrintDefaults()
 		}
 		_ = fs.Parse(os.Args[2:]) // ExitOnError: Parse cannot return an error
@@ -96,7 +110,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -allocslack must be >= 0")
 			os.Exit(2)
 		}
-		report, regressed, err := compareFiles(fs.Arg(0), fs.Arg(1), *tolerance, *allocSlack)
+		if *allocSlackPct < 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -allocslackpct must be >= 0")
+			os.Exit(2)
+		}
+		report, regressed, err := compareFiles(fs.Arg(0), fs.Arg(1), *tolerance, *allocSlack, *allocSlackPct)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -122,9 +140,9 @@ func main() {
 
 // compareFiles loads two artifacts and renders the allocation diff. The
 // second return value reports whether any shared benchmark regressed its
-// allocs_per_op beyond allocSlack (or, when tolerance > 0, blew its
-// ns_per_op bound).
-func compareFiles(oldPath, newPath string, tolerance float64, allocSlack int64) (string, bool, error) {
+// allocs_per_op beyond its effective slack (or, when tolerance > 0, blew
+// its ns_per_op bound).
+func compareFiles(oldPath, newPath string, tolerance float64, allocSlack int64, allocSlackPct float64) (string, bool, error) {
 	load := func(path string) (*document, error) {
 		b, err := os.ReadFile(path)
 		if err != nil {
@@ -144,15 +162,16 @@ func compareFiles(oldPath, newPath string, tolerance float64, allocSlack int64) 
 	if err != nil {
 		return "", false, err
 	}
-	return compare(oldDoc, newDoc, tolerance, allocSlack)
+	return compare(oldDoc, newDoc, tolerance, allocSlack, allocSlackPct)
 }
 
 // compare matches benchmarks by package+name and judges allocs_per_op
-// exactly (or within allocSlack absolute allocations); with tolerance > 0
-// it also judges ns_per_op against the percentage bound. Benchmarks
-// present on only one side are listed but never judged: a new benchmark
-// has no baseline, and a removed one gates nothing.
-func compare(oldDoc, newDoc *document, tolerance float64, allocSlack int64) (string, bool, error) {
+// exactly (or within its effective slack: the larger of allocSlack
+// absolute allocations and allocSlackPct percent of the baseline); with
+// tolerance > 0 it also judges ns_per_op against the percentage bound.
+// Benchmarks present on only one side are listed but never judged: a new
+// benchmark has no baseline, and a removed one gates nothing.
+func compare(oldDoc, newDoc *document, tolerance float64, allocSlack int64, allocSlackPct float64) (string, bool, error) {
 	key := func(b benchResult) string { return b.Package + "." + b.Name }
 	old := make(map[string]benchResult, len(oldDoc.Benchmarks))
 	for _, b := range oldDoc.Benchmarks {
@@ -168,13 +187,17 @@ func compare(oldDoc, newDoc *document, tolerance float64, allocSlack int64) (str
 		}
 		matched++
 		delete(old, key(nb))
+		slack := allocSlack
+		if pct := int64(float64(ob.AllocsPerOp) * allocSlackPct / 100); pct > slack {
+			slack = pct
+		}
 		switch {
-		case nb.AllocsPerOp > ob.AllocsPerOp+allocSlack:
+		case nb.AllocsPerOp > ob.AllocsPerOp+slack:
 			regressed = true
 			fmt.Fprintf(&sb, "  WORSE %-40s %d -> %d allocs/op\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
 		case nb.AllocsPerOp > ob.AllocsPerOp:
 			fmt.Fprintf(&sb, "  drift %-40s %d -> %d allocs/op (within slack %d)\n",
-				nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, allocSlack)
+				nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, slack)
 		case nb.AllocsPerOp < ob.AllocsPerOp:
 			fmt.Fprintf(&sb, "  better %-39s %d -> %d allocs/op\n", nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
 		}

@@ -74,7 +74,7 @@ func compareDocs(t *testing.T, oldB, newB []benchResult) (string, bool) {
 
 func compareDocsTol(t *testing.T, oldB, newB []benchResult, tolerance float64) (string, bool) {
 	t.Helper()
-	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, tolerance, 0)
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, tolerance, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestCompareIgnoresUnmatched(t *testing.T) {
 func TestCompareErrorsWithNothingInCommon(t *testing.T) {
 	_, _, err := compare(
 		&document{Benchmarks: []benchResult{{Package: "p", Name: "A"}}},
-		&document{Benchmarks: []benchResult{{Package: "p", Name: "B"}}}, 0, 0)
+		&document{Benchmarks: []benchResult{{Package: "p", Name: "B"}}}, 0, 0, 0)
 	if err == nil {
 		t.Fatal("disjoint artifacts must error, not silently pass")
 	}
@@ -141,7 +141,7 @@ func TestCompareErrorsWithNothingInCommon(t *testing.T) {
 func TestCompareAllocSlackAbsorbsJitter(t *testing.T) {
 	oldB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 197107}}
 	newB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 197120}} // +13: scheduler jitter
-	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, 0, 16)
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, 0, 16, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,10 +153,46 @@ func TestCompareAllocSlackAbsorbsJitter(t *testing.T) {
 	}
 }
 
+func TestCompareAllocSlackPctScalesWithBaseline(t *testing.T) {
+	// Cross-binary GC-pacing drift scales with benchmark size: +76 allocs
+	// on a 222k-alloc benchmark (+0.03%) is noise the absolute slack of 16
+	// cannot absorb, but 0.25% of the baseline (555) can.
+	oldB := []benchResult{
+		{Package: "p", Name: "Big", AllocsPerOp: 222258},
+		{Package: "p", Name: "Small", AllocsPerOp: 40},
+	}
+	newB := []benchResult{
+		{Package: "p", Name: "Big", AllocsPerOp: 222334},
+		{Package: "p", Name: "Small", AllocsPerOp: 50},
+	}
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, 0, 16, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Big's +76 fits the proportional slack; Small's +10 fits the absolute
+	// slack (0.25% of 40 rounds to 0, so the larger allowance, 16, rules).
+	if regressed {
+		t.Fatalf("proportional slack should absorb size-scaled drift, got %q", report)
+	}
+}
+
+func TestCompareAllocSlackPctStillCatchesLeaks(t *testing.T) {
+	// A real leak costs percents of allocs/op, far past a sub-percent slack.
+	oldB := []benchResult{{Package: "p", Name: "Big", AllocsPerOp: 222258}}
+	newB := []benchResult{{Package: "p", Name: "Big", AllocsPerOp: 228000}} // +2.6%
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, 0, 16, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(report, "WORSE") {
+		t.Fatalf("+2.6%% allocs must regress past a 0.25%% slack, got %q", report)
+	}
+}
+
 func TestCompareAllocSlackStillCatchesLeaks(t *testing.T) {
 	oldB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 20913}}
 	newB := []benchResult{{Package: "p", Name: "A", AllocsPerOp: 20930}} // +17: past the slack
-	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, 0, 16)
+	report, regressed, err := compare(&document{Benchmarks: oldB}, &document{Benchmarks: newB}, 0, 16, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

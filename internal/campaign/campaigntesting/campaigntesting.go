@@ -1,0 +1,145 @@
+// Package campaigntesting is the fault-injection seam for the distributed
+// campaign: a scripted http.RoundTripper that drops, duplicates, and delays
+// the work protocol's requests and responses at exact call boundaries, and a
+// manually-advanced clock for expiring leases deterministically. Tests wire
+// Transport into a Worker's HTTP client and Clock into a Queue's Now to
+// replay the distributed failure matrix — dead workers, lost acks, retried
+// submits — without real time or real packet loss.
+package campaigntesting
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrDropped is what a dropped request or response surfaces as; the
+// http.Client wraps it in a *url.Error, exactly like a refused connection.
+var ErrDropped = errors.New("campaigntesting: dropped by fault script")
+
+// Result is one scripted fault decision for one request.
+type Result struct {
+	// Drop discards the request before it is sent: the server never sees
+	// it, the client gets a transport error.
+	Drop bool
+	// DropResponse sends the request and discards the response: the server
+	// fully processes it, the client gets a transport error — the
+	// signature of a worker whose ack was lost, forcing a retry the
+	// protocol must absorb idempotently.
+	DropResponse bool
+	// Duplicate sends the request twice back-to-back and returns the
+	// second response — a retransmitted submit arriving after the
+	// original already landed.
+	Duplicate bool
+	// Before runs just before the request is sent (after Drop is applied);
+	// After runs once the server has processed it. They are the kill and
+	// reorder gates: block, cancel a context, advance a Clock.
+	Before func()
+	After  func()
+}
+
+// Transport is a scripted http.RoundTripper. Script sees every request with
+// its 0-based call number and decides its fate; a nil Script (or zero
+// Result) passes everything through untouched.
+type Transport struct {
+	// Base performs the real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Script decides each call's fault. It runs serialized under the
+	// transport's lock, so a script may keep plain state in its closure.
+	Script func(n int, req *http.Request) Result
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// Calls returns how many requests the script has judged so far.
+func (t *Transport) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	n := t.calls
+	t.calls++
+	var res Result
+	if t.Script != nil {
+		res = t.Script(n, req)
+	}
+	t.mu.Unlock()
+
+	if res.Drop {
+		if res.After != nil {
+			res.After()
+		}
+		return nil, ErrDropped
+	}
+	if res.Before != nil {
+		res.Before()
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if res.Duplicate && req.GetBody != nil {
+		// Drain the first response, resend the same body, and hand the
+		// caller the second answer — the path a retransmit takes.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		body, berr := req.GetBody()
+		if berr != nil {
+			return nil, berr
+		}
+		again := req.Clone(req.Context())
+		again.Body = body
+		resp, err = t.base().RoundTrip(again)
+		if err != nil {
+			return resp, err
+		}
+	}
+	if res.After != nil {
+		res.After()
+	}
+	if res.DropResponse {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrDropped
+	}
+	return resp, nil
+}
+
+// Clock is a manually-advanced time source for Queue.Now: leases expire
+// exactly when a test says so, never because a test machine was slow.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock returns a clock frozen at start.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the clock's current frozen instant.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

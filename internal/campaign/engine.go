@@ -86,6 +86,11 @@ type Engine struct {
 	Store *Store
 	// Cache, when set, memoizes results across campaigns.
 	Cache *Cache
+	// Exec, when set, executes the cells a batch could not resolve from
+	// memo, store, or cache — the seam the distributed campaign server
+	// plugs remote workers into. Nil means a LocalExecutor built from
+	// Jobs and Retries.
+	Exec Executor
 	// OnCell, when set, observes each cell resolution.
 	OnCell func(CellEvent)
 
@@ -292,61 +297,52 @@ func (e *Engine) resolve(cells []Cell) ([]*Record, error) {
 	return out, nil
 }
 
-// executeAll runs the pending cells across the worker pool with per-cell
-// retries, streaming completed results into the cache. It returns non-nil
-// only for context cancellation; per-cell failures land in pending.err.
+// executeAll hands the pending cells to the engine's Executor (the local
+// worker pool unless a distributed one is wired) and folds each Outcome back
+// into its pending entry, streaming successful results into the cache. It
+// returns non-nil only for context cancellation; per-cell failures land in
+// pending.err.
 func (e *Engine) executeAll(toRun []*pending) error {
-	jobs := e.Jobs
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	if jobs > len(toRun) {
-		jobs = len(toRun)
-	}
-	attempts := e.Retries
-	if attempts < 1 {
-		attempts = 1
-	}
 	ctx := e.ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
-
-	next := make(chan *pending)
-	var wg sync.WaitGroup
-	for w := 0; w < jobs; w++ {
-		wg.Add(1)
-		//lint:allowsharedstate campaign worker: the arena (engine + record slab) is created inside the goroutine and never crosses it; cells resolve through e.note, which orders the store by request index
-		go func() {
-			defer wg.Done()
-			// Each worker recycles its simulation substrate (engine event
-			// storage, packet-record slab) across the cells it executes.
-			// The arena is strictly worker-local: runs never share one.
-			arena := experiment.NewArena()
-			for p := range next {
-				if err := ctx.Err(); err != nil {
-					p.err = err
-				} else {
-					e.executeOne(p, attempts, arena)
-				}
-				e.note(p)
-			}
-		}()
+	exec := e.Exec
+	if exec == nil {
+		exec = &LocalExecutor{Jobs: e.Jobs, Retries: e.Retries}
 	}
-	for _, p := range toRun {
-		// Stop handing out new cells once cancelled; in-flight cells
-		// finish and are stored.
-		if err := ctx.Err(); err != nil {
-			p.err = err
-			e.note(p)
-			continue
+	cells := make([]Cell, len(toRun))
+	byKey := make(map[string]*pending, len(toRun))
+	for i, p := range toRun {
+		cells[i] = p.cell
+		byKey[p.key] = p
+	}
+	// The report callback may run concurrently from executor workers; it
+	// writes only its own pending entry, and e.note serializes the stats
+	// and progress callback under the engine lock. The Executor contract
+	// (one report per cell, all reports done before return) is what makes
+	// the post-return flush safe.
+	return exec.ExecuteCells(ctx, cells, func(o Outcome) {
+		p := byKey[o.Key]
+		if p == nil {
+			// An outcome for a cell not in this batch (a buggy executor);
+			// dropping it is the only safe move.
+			return
 		}
-		//lint:allowsharedstate work-distribution hand-off: the pending cell is owned by exactly one worker from this send until its e.note, then only read by the scheduler after wg.Wait
-		next <- p
-	}
-	close(next)
-	wg.Wait()
-	return ctx.Err()
+		p.attempts, p.seconds = o.Attempts, o.Seconds
+		switch {
+		case o.Err != nil:
+			p.err = o.Err
+		default:
+			p.rec, p.source, p.done = o.Rec, "run", true
+			if e.Cache != nil {
+				if cerr := e.Cache.Put(o.Rec); cerr != nil {
+					p.err = cerr
+				}
+			}
+		}
+		e.note(p)
+	})
 }
 
 // note accounts one cell's resolution and fires the progress callback.
@@ -377,37 +373,6 @@ func (e *Engine) note(p *pending) {
 	e.mu.Unlock()
 	if cb != nil {
 		cb(ev)
-	}
-}
-
-// executeOne runs a single cell with retries and caches its result. The
-// arena (may be nil) recycles simulation substrate across this worker's
-// cells.
-func (e *Engine) executeOne(p *pending, attempts int, arena *experiment.Arena) {
-	//lint:allowwallclock per-cell wall time feeds progress display and throughput reporting only
-	start := time.Now()
-	var rec *Record
-	var err error
-	for p.attempts = 1; p.attempts <= attempts; p.attempts++ {
-		rec, err = p.cell.execute(p.key, arena)
-		if err == nil {
-			break
-		}
-	}
-	if p.attempts > attempts {
-		p.attempts = attempts
-	}
-	//lint:allowwallclock per-cell wall time feeds progress display and throughput reporting only
-	p.seconds = time.Since(start).Seconds()
-	if err != nil {
-		p.err = err
-		return
-	}
-	p.rec, p.source, p.done = rec, "run", true
-	if e.Cache != nil {
-		if cerr := e.Cache.Put(rec); cerr != nil {
-			p.err = cerr
-		}
 	}
 }
 

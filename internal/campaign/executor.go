@@ -1,0 +1,130 @@
+// The execution seam between the engine's bookkeeping (dedup, memo,
+// store-order flush) and whatever actually runs the cells a batch could not
+// resolve from memo, store, or cache. LocalExecutor is the in-process worker
+// pool the engine has always had; internal/campaign/server's Queue implements
+// the same interface over leased HTTP claims so remote workers can execute
+// the cells instead. Because cells are content-addressed and execution is
+// deterministic, the engine cannot tell the difference — the store it writes
+// is byte-identical either way.
+
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"alertmanet/internal/experiment"
+)
+
+// Outcome is one executed cell's report back to the engine. Exactly one of
+// Rec/Err is set.
+type Outcome struct {
+	// Key is the cell's content hash — how the engine matches the outcome
+	// back to its batch entry.
+	Key string
+	// Rec is the executed record on success.
+	Rec *Record
+	// Attempts is how many execution attempts the cell took.
+	Attempts int
+	// Seconds is the execution wall time (reporting only).
+	Seconds float64
+	// Err is set when the cell exhausted its attempts (or was cancelled).
+	Err error
+}
+
+// Executor executes the cells an engine batch could not resolve from memo,
+// store, or cache. Implementations must call report exactly once per input
+// cell — from any goroutine, in any order — and return only after every
+// report call has completed. A cancelled context must still report every
+// unexecuted cell (with ctx's error) and then return ctx.Err().
+type Executor interface {
+	ExecuteCells(ctx context.Context, cells []Cell, report func(Outcome)) error
+}
+
+// LocalExecutor runs cells in-process across a bounded worker pool with
+// per-cell retries — the engine's default when no Executor is wired.
+type LocalExecutor struct {
+	// Jobs bounds the worker pool; 0 means GOMAXPROCS.
+	Jobs int
+	// Retries is the maximum number of execution attempts per cell; 0
+	// means 1 (no retry).
+	Retries int
+}
+
+// ExecuteCells implements Executor. Each worker recycles its simulation
+// substrate (engine event storage, packet-record slab) across the cells it
+// executes; the arena is strictly worker-local.
+func (l *LocalExecutor) ExecuteCells(ctx context.Context, cells []Cell, report func(Outcome)) error {
+	jobs := l.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(cells) {
+		jobs = len(cells)
+	}
+	attempts := l.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+
+	next := make(chan Cell)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		//lint:allowsharedstate campaign worker: the arena (engine + record slab) is created inside the goroutine and never crosses it; results leave only through the report callback, which the engine serializes under its own lock
+		go func() {
+			defer wg.Done()
+			arena := experiment.NewArena()
+			for c := range next {
+				if err := ctx.Err(); err != nil {
+					report(Outcome{Key: c.Key(), Err: err})
+					continue
+				}
+				report(executeCell(c, attempts, arena))
+			}
+		}()
+	}
+	for _, c := range cells {
+		// Stop handing out new cells once cancelled; in-flight cells
+		// finish and are reported.
+		if err := ctx.Err(); err != nil {
+			report(Outcome{Key: c.Key(), Err: err})
+			continue
+		}
+		//lint:allowsharedstate work-distribution hand-off: the cell is owned by exactly one worker from this send until its report call, after which only the engine reads the outcome
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+	return ctx.Err()
+}
+
+// executeCell runs a single cell with retries. The arena (may be nil)
+// recycles simulation substrate across the calling worker's cells.
+func executeCell(c Cell, attempts int, arena *experiment.Arena) Outcome {
+	//lint:allowwallclock per-cell wall time feeds progress display and throughput reporting only
+	start := time.Now()
+	key := c.Key()
+	o := Outcome{Key: key}
+	var rec *Record
+	var err error
+	for o.Attempts = 1; o.Attempts <= attempts; o.Attempts++ {
+		rec, err = c.execute(key, arena)
+		if err == nil {
+			break
+		}
+	}
+	if o.Attempts > attempts {
+		o.Attempts = attempts
+	}
+	//lint:allowwallclock per-cell wall time feeds progress display and throughput reporting only
+	o.Seconds = time.Since(start).Seconds()
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	o.Rec = rec
+	return o
+}

@@ -1,0 +1,551 @@
+// The distributed campaign's acceptance suite: a server plus remote workers
+// over real HTTP must produce a results.jsonl byte-identical to the
+// single-process engine — through duplicate submits, dropped requests and
+// responses, delayed (reordered) acks, a worker killed mid-lease, and a
+// kill/tear/resume across the store. The figure digests of the distributed
+// run must also match the blessed golden corpus, so the bytes are not just
+// self-consistent but correct.
+
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alertmanet/internal/analysis"
+	"alertmanet/internal/campaign"
+	"alertmanet/internal/campaign/campaigntesting"
+	"alertmanet/internal/experiment"
+)
+
+const goldenPath = "../../experiment/testdata/figures_golden.json"
+
+// seriesDigest mirrors the experiment package's golden digest rendering.
+func seriesDigest(series []analysis.Series) string {
+	h := sha256.New()
+	for _, s := range series {
+		fmt.Fprintf(h, "%s|%v|%v|%v\n", s.Label, s.X, s.Y, s.Err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// driveFigures renders the distributed smoke subset — fig11, fig12, and the
+// energy summary at the golden corpus's pinned parameters — through the
+// given runner and returns their digests. This is the "driver" role: in a
+// distributed campaign it runs next to the server while workers execute.
+func driveFigures(r experiment.Runner) (map[string]string, error) {
+	d := map[string]string{}
+	s, err := experiment.Fig11(r, 3, 2)
+	if err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+	d["fig11"] = seriesDigest([]analysis.Series{s})
+	many, err := experiment.Fig12(r, []float64{0, 5, 10}, 2)
+	if err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
+	d["fig12"] = seriesDigest(many)
+	many, err = experiment.EnergySummary(r, 2)
+	if err != nil {
+		return nil, fmt.Errorf("energy: %w", err)
+	}
+	d["energy"] = seriesDigest(many)
+	return d, nil
+}
+
+// The single-process reference run every distributed scenario is compared
+// against, computed once per test binary.
+var (
+	refOnce    sync.Once
+	refBytes   []byte
+	refDigests map[string]string
+	refErr     error
+)
+
+func reference(t *testing.T) ([]byte, map[string]string) {
+	t.Helper()
+	refOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "campaign-ref")
+		if err != nil {
+			refErr = err
+			return
+		}
+		defer os.RemoveAll(dir)
+		store, err := campaign.OpenStore(dir)
+		if err != nil {
+			refErr = err
+			return
+		}
+		eng := &campaign.Engine{Name: "ref", Store: store, Jobs: 4}
+		refDigests, refErr = driveFigures(eng)
+		if cerr := store.Close(); refErr == nil {
+			refErr = cerr
+		}
+		if refErr != nil {
+			return
+		}
+		refBytes, refErr = os.ReadFile(filepath.Join(dir, "results.jsonl"))
+	})
+	if refErr != nil {
+		t.Fatalf("reference run: %v", refErr)
+	}
+	return refBytes, refDigests
+}
+
+// harness is one live distributed campaign: store, queue, HTTP server, and
+// the engine-driver goroutine rendering the figure subset through the queue.
+type harness struct {
+	t      *testing.T
+	dir    string
+	store  *campaign.Store
+	queue  *Queue
+	ts     *httptest.Server
+	done   chan error // driver completion
+	mu     sync.Mutex
+	digest map[string]string
+}
+
+// startCampaign opens a store in dir, serves it, and launches the driver.
+// The driver calls queue.Finish() when the figure drive ends, so workers
+// polling the server exit on their own.
+func startCampaign(t *testing.T, dir string, q *Queue, engCtx context.Context) *harness {
+	t.Helper()
+	store, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{
+		t: t, dir: dir, store: store, queue: q,
+		done: make(chan error, 1),
+	}
+	h.ts = httptest.NewServer((&Server{Queue: q, Store: store, Name: "dist-test"}).Handler())
+	go func() {
+		eng := &campaign.Engine{Name: "dist-test", Store: store, Exec: q}
+		if engCtx != nil {
+			eng.WithContext(engCtx)
+		}
+		d, err := driveFigures(eng)
+		h.mu.Lock()
+		h.digest = d
+		h.mu.Unlock()
+		q.Finish()
+		h.done <- err
+	}()
+	return h
+}
+
+func (h *harness) digests() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.digest
+}
+
+// finish waits for the driver, tears the transport down, closes the store,
+// and returns the driver error with the final on-disk results.jsonl.
+func (h *harness) finish() (error, []byte) {
+	err := <-h.done
+	h.ts.Close()
+	if cerr := h.store.Close(); cerr != nil {
+		h.t.Errorf("close store: %v", cerr)
+	}
+	data, rerr := os.ReadFile(filepath.Join(h.dir, "results.jsonl"))
+	if rerr != nil {
+		h.t.Fatalf("read results: %v", rerr)
+	}
+	return err, data
+}
+
+// runWorkers runs n workers concurrently against the harness until the
+// campaign reports done, each configured by mk, and returns their errors.
+func runWorkers(ctx context.Context, h *harness, n int, mk func(i int, w *Worker)) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{
+				Name:        fmt.Sprintf("w%d", i+1),
+				BaseURL:     h.ts.URL,
+				Jobs:        2,
+				Poll:        2 * time.Millisecond,
+				BackoffBase: time.Millisecond,
+				BackoffMax:  20 * time.Millisecond,
+			}
+			if mk != nil {
+				mk(i, w)
+			}
+			errs[i] = w.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+func checkIdentical(t *testing.T, got, ref []byte) {
+	t.Helper()
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("distributed results.jsonl differs from single-process run:\ngot  %d bytes\nwant %d bytes", len(got), len(ref))
+	}
+}
+
+// TestDistributedByteIdentical: two workers over real HTTP, one driver —
+// the store bytes, the export stream, and the figure digests all match the
+// single-process reference, and the digests match the blessed golden corpus.
+func TestDistributedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives the figure subset twice")
+	}
+	ref, refDig := reference(t)
+
+	dir := t.TempDir()
+	q := &Queue{Lease: time.Minute}
+	h := startCampaign(t, dir, q, nil)
+	werrs := runWorkers(context.Background(), h, 2, nil)
+
+	// Export over HTTP before the server goes away.
+	resp, err := http.Get(h.ts.URL + PathExport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	derr, got := h.finish()
+	if derr != nil {
+		t.Fatalf("driver: %v", derr)
+	}
+	for i, werr := range werrs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i+1, werr)
+		}
+	}
+	checkIdentical(t, got, ref)
+	if !bytes.Equal(export, ref) {
+		t.Fatalf("HTTP export differs from single-process results.jsonl (%d vs %d bytes)", len(export), len(ref))
+	}
+
+	// The distributed run computed the same figures...
+	for name, want := range refDig {
+		if got := h.digests()[name]; got != want {
+			t.Errorf("digest %s: distributed %s, single-process %s", name, got, want)
+		}
+	}
+	// ...and both match the golden corpus blessed before campaigns existed.
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden corpus: %v", err)
+	}
+	var golden map[string]string
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	for name := range refDig {
+		if golden[name] == "" {
+			t.Fatalf("golden corpus has no %s digest", name)
+		}
+		if h.digests()[name] != golden[name] {
+			t.Errorf("digest %s: distributed %s, golden %s", name, h.digests()[name], golden[name])
+		}
+	}
+
+	stats, pending, leased, finished := q.Snapshot()
+	if !finished || pending != 0 || leased != 0 {
+		t.Fatalf("queue not drained: pending=%d leased=%d finished=%v", pending, leased, finished)
+	}
+	if stats.Completed == 0 || stats.Failed != 0 || stats.Unknown != 0 {
+		t.Fatalf("unexpected queue stats: %+v", stats)
+	}
+}
+
+// TestDistributedFaults replays the failure matrix: every scenario must
+// converge to the byte-identical store.
+func TestDistributedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives the figure subset repeatedly")
+	}
+	ref, _ := reference(t)
+
+	// Every submit is retransmitted: the queue must absorb the duplicates
+	// idempotently.
+	t.Run("duplicate-submits", func(t *testing.T) {
+		dir := t.TempDir()
+		q := &Queue{Lease: time.Minute}
+		h := startCampaign(t, dir, q, nil)
+		werrs := runWorkers(context.Background(), h, 2, func(i int, w *Worker) {
+			w.Client = &http.Client{Transport: &campaigntesting.Transport{
+				Script: func(n int, req *http.Request) campaigntesting.Result {
+					return campaigntesting.Result{Duplicate: req.URL.Path == PathSubmit}
+				},
+			}}
+		})
+		derr, got := h.finish()
+		if derr != nil {
+			t.Fatalf("driver: %v", derr)
+		}
+		for i, werr := range werrs {
+			if werr != nil {
+				t.Fatalf("worker %d: %v", i+1, werr)
+			}
+		}
+		checkIdentical(t, got, ref)
+		stats, _, _, _ := q.Snapshot()
+		if stats.Duplicates == 0 {
+			t.Fatal("expected duplicate submits to be recorded")
+		}
+		if stats.Duplicates != stats.Completed {
+			t.Fatalf("every submit was duplicated: want duplicates == completed, got %+v", stats)
+		}
+	})
+
+	// Every other submit loses its response after the server processed it:
+	// the worker retries, and the retry must come back "duplicate".
+	t.Run("dropped-responses", func(t *testing.T) {
+		dir := t.TempDir()
+		q := &Queue{Lease: time.Minute}
+		h := startCampaign(t, dir, q, nil)
+		werrs := runWorkers(context.Background(), h, 1, func(i int, w *Worker) {
+			w.Jobs = 1
+			submits := 0
+			w.Client = &http.Client{Transport: &campaigntesting.Transport{
+				Script: func(n int, req *http.Request) campaigntesting.Result {
+					if req.URL.Path != PathSubmit {
+						return campaigntesting.Result{}
+					}
+					submits++
+					return campaigntesting.Result{DropResponse: submits%2 == 1}
+				},
+			}}
+		})
+		derr, got := h.finish()
+		if derr != nil {
+			t.Fatalf("driver: %v", derr)
+		}
+		if werrs[0] != nil {
+			t.Fatalf("worker: %v", werrs[0])
+		}
+		checkIdentical(t, got, ref)
+		stats, _, _, _ := q.Snapshot()
+		if stats.Duplicates == 0 {
+			t.Fatal("a dropped submit response must surface as an absorbed duplicate retry")
+		}
+	})
+
+	// Every fourth request vanishes before reaching the server: pure
+	// retry/backoff territory, no duplicates required.
+	t.Run("dropped-requests", func(t *testing.T) {
+		dir := t.TempDir()
+		q := &Queue{Lease: time.Minute}
+		h := startCampaign(t, dir, q, nil)
+		werrs := runWorkers(context.Background(), h, 2, func(i int, w *Worker) {
+			w.Client = &http.Client{Transport: &campaigntesting.Transport{
+				Script: func(n int, req *http.Request) campaigntesting.Result {
+					return campaigntesting.Result{Drop: n%4 == 3}
+				},
+			}}
+		})
+		derr, got := h.finish()
+		if derr != nil {
+			t.Fatalf("driver: %v", derr)
+		}
+		for i, werr := range werrs {
+			if werr != nil {
+				t.Fatalf("worker %d: %v", i+1, werr)
+			}
+		}
+		checkIdentical(t, got, ref)
+		stats, _, _, _ := q.Snapshot()
+		if stats.Unknown != 0 || stats.Failed != 0 {
+			t.Fatalf("dropped requests should be invisible to the queue: %+v", stats)
+		}
+	})
+
+	// Every other submit is delayed while a parallel executor's submit
+	// overtakes it: responses arrive reordered, the store order must not.
+	t.Run("delayed-submits-reorder", func(t *testing.T) {
+		dir := t.TempDir()
+		q := &Queue{Lease: time.Minute}
+		h := startCampaign(t, dir, q, nil)
+		werrs := runWorkers(context.Background(), h, 2, func(i int, w *Worker) {
+			w.Jobs = 2
+			w.Batch = 4
+			submits := 0
+			w.Client = &http.Client{Transport: &campaigntesting.Transport{
+				Script: func(n int, req *http.Request) campaigntesting.Result {
+					if req.URL.Path != PathSubmit {
+						return campaigntesting.Result{}
+					}
+					submits++
+					if submits%2 == 1 {
+						return campaigntesting.Result{Before: func() { time.Sleep(3 * time.Millisecond) }}
+					}
+					return campaigntesting.Result{}
+				},
+			}}
+		})
+		derr, got := h.finish()
+		if derr != nil {
+			t.Fatalf("driver: %v", derr)
+		}
+		for i, werr := range werrs {
+			if werr != nil {
+				t.Fatalf("worker %d: %v", i+1, werr)
+			}
+		}
+		checkIdentical(t, got, ref)
+	})
+
+	// A worker dies holding leases: the fake clock expires them, a second
+	// worker reclaims and finishes the campaign.
+	t.Run("worker-abandon-lease-expiry", func(t *testing.T) {
+		clk := campaigntesting.NewClock(time.Unix(1700000000, 0))
+		victimCtx, killVictim := context.WithCancel(context.Background())
+		var killed atomic.Bool
+		q := &Queue{Lease: time.Minute, Now: clk.Now}
+		q.OnEvent = func(ev Event) {
+			// The first real lease to the victim is its death warrant:
+			// cancelled before the claim response reaches it, so its cells
+			// are leased but never executed.
+			if ev.Kind == EventClaim && ev.Worker == "victim" && killed.CompareAndSwap(false, true) {
+				killVictim()
+				clk.Advance(2 * time.Minute)
+			}
+		}
+		dir := t.TempDir()
+		h := startCampaign(t, dir, q, nil)
+
+		victim := &Worker{
+			Name: "victim", BaseURL: h.ts.URL,
+			Batch: 3, Poll: time.Millisecond, BackoffBase: time.Millisecond,
+		}
+		if err := victim.Run(victimCtx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("victim should die by cancellation, got %v", err)
+		}
+		if !killed.Load() {
+			t.Fatal("victim exited without ever claiming cells")
+		}
+
+		werrs := runWorkers(context.Background(), h, 1, func(i int, w *Worker) {
+			w.Name = "survivor"
+		})
+		derr, got := h.finish()
+		if derr != nil {
+			t.Fatalf("driver: %v", derr)
+		}
+		if werrs[0] != nil {
+			t.Fatalf("survivor: %v", werrs[0])
+		}
+		checkIdentical(t, got, ref)
+		stats, _, _, _ := q.Snapshot()
+		if stats.Expired == 0 {
+			t.Fatal("the victim's leases should have expired and been reclaimed")
+		}
+	})
+}
+
+// TestDistributedResumeByteIdentical extends the engine's kill/resume
+// contract across the process boundary: a distributed campaign killed after
+// a handful of cells leaves an exact prefix on disk; tearing the prefix's
+// tail mid-record and re-driving distributed appends exactly the missing
+// suffix — final bytes identical to a never-interrupted single-process run.
+func TestDistributedResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives the figure subset twice")
+	}
+	ref, _ := reference(t)
+	dir := t.TempDir()
+	resultsPath := filepath.Join(dir, "results.jsonl")
+
+	// Phase 1: kill the driver after 5 resolved cells.
+	engCtx, cancelEngine := context.WithCancel(context.Background())
+	store, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Queue{Lease: time.Minute}
+	ts := httptest.NewServer((&Server{Queue: q, Store: store}).Handler())
+	eng := &campaign.Engine{Store: store, Exec: q}
+	eng.OnCell = func(ev campaign.CellEvent) {
+		if ev.Done >= 5 {
+			cancelEngine()
+		}
+	}
+	eng.WithContext(engCtx)
+
+	driverDone := make(chan error, 1)
+	go func() {
+		_, err := driveFigures(eng)
+		driverDone <- err
+	}()
+	wctx, stopWorker := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		w := &Worker{Name: "w1", BaseURL: ts.URL, Poll: 2 * time.Millisecond, BackoffBase: time.Millisecond}
+		w.Run(wctx) // dies by cancellation; the campaign was killed mid-flight
+	}()
+	if derr := <-driverDone; derr == nil {
+		t.Fatal("killed driver should report the cancellation")
+	}
+	stopWorker()
+	<-workerDone
+	ts.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	partial, err := os.ReadFile(resultsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) == 0 || len(partial) >= len(ref) {
+		t.Fatalf("kill should leave a proper prefix: %d of %d bytes", len(partial), len(ref))
+	}
+	if !bytes.HasPrefix(ref, partial) {
+		t.Fatal("killed distributed run is not a prefix of the single-process run")
+	}
+
+	// Tear the tail mid-record — the on-disk signature of a process killed
+	// inside a write. Reopen must truncate to the last complete line.
+	torn := partial[:len(partial)-7]
+	if err := os.WriteFile(resultsPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh server process resumes the campaign.
+	q2 := &Queue{Lease: time.Minute}
+	h := startCampaign(t, dir, q2, nil)
+	werrs := runWorkers(context.Background(), h, 2, nil)
+	derr, got := h.finish()
+	if derr != nil {
+		t.Fatalf("resumed driver: %v", derr)
+	}
+	for i, werr := range werrs {
+		if werr != nil {
+			t.Fatalf("resumed worker %d: %v", i+1, werr)
+		}
+	}
+	checkIdentical(t, got, ref)
+
+	stats, _, _, _ := q2.Snapshot()
+	if stats.Completed == 0 {
+		t.Fatal("resume should re-execute the torn suffix through workers")
+	}
+}

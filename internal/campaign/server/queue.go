@@ -1,0 +1,424 @@
+// Package server distributes the campaign engine across processes: a Queue
+// implements campaign.Executor by leasing cells to remote workers over HTTP
+// (Server is the transport facade, Worker the remote executor), with the
+// campaign's JSONL store and shared cache staying the durable backend on the
+// server side. Because cells are content-addressed and execution is
+// deterministic, any worker that executes a cell produces the same record —
+// so leases may expire and be re-claimed, submits may arrive twice or for
+// long-gone batches, workers may die mid-cell, and the engine's store still
+// comes out byte-identical to a single-process run.
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"alertmanet/internal/campaign"
+)
+
+// EventKind labels a Queue transition for the OnEvent observer.
+type EventKind string
+
+// The queue event kinds.
+const (
+	// EventClaim: a worker leased one or more cells.
+	EventClaim EventKind = "claim"
+	// EventSubmit: a worker's record resolved a pending cell.
+	EventSubmit EventKind = "submit"
+	// EventDuplicate: a submit for an already-resolved cell (idempotent).
+	EventDuplicate EventKind = "duplicate"
+	// EventUnknown: a submit for a cell the queue has never held.
+	EventUnknown EventKind = "unknown"
+	// EventExpire: a lease outlived its deadline and was reclaimed.
+	EventExpire EventKind = "expire"
+	// EventFail: a worker reported a cell as failed after its retries.
+	EventFail EventKind = "fail"
+	// EventFinish: the campaign driver marked the queue finished.
+	EventFinish EventKind = "finish"
+)
+
+// Event reports one queue transition. Key is set for per-cell events, Keys
+// for claims.
+type Event struct {
+	Kind   EventKind
+	Worker string
+	Key    string
+	Keys   []string
+}
+
+// Stats counts queue traffic since construction.
+type Stats struct {
+	// Claims is the number of claim calls; Leased the cells handed out
+	// (re-leases after expiry count again).
+	Claims int `json:"claims"`
+	Leased int `json:"leased"`
+	// Completed cells were resolved by a worker submit; Duplicates were
+	// idempotently-absorbed re-submits; Unknown were submits for cells the
+	// queue never held (a worker outliving a cancelled batch).
+	Completed  int `json:"completed"`
+	Duplicates int `json:"duplicates"`
+	Unknown    int `json:"unknown"`
+	// Expired is the number of leases reclaimed after their deadline —
+	// each one a worker presumed dead mid-cell.
+	Expired int `json:"expired"`
+	// Failed cells were reported unexecutable by a worker.
+	Failed int `json:"failed"`
+}
+
+// item is one enqueued cell awaiting a worker.
+type item struct {
+	cell     campaign.Cell
+	leased   bool
+	worker   string
+	deadline time.Time
+	report   func(campaign.Outcome)
+	batch    *batch
+}
+
+// batch tracks one ExecuteCells call's completion.
+type batch struct {
+	remaining int
+	done      chan struct{}
+	// reports counts in-flight report callbacks: a cancelled ExecuteCells
+	// must wait them out before returning, or a submit racing the
+	// cancellation would touch engine state after the engine moved on.
+	reports sync.WaitGroup
+}
+
+// DefaultLease is the lease duration when Queue.Lease is zero.
+const DefaultLease = 30 * time.Second
+
+// Queue is a lease-based distributed work queue over campaign cells: the
+// campaign.Executor the engine's unresolved cells flow into, and the pool
+// claim/submit pull work out of. The zero value is ready to use.
+type Queue struct {
+	// Lease is how long a claimed cell stays assigned before it can be
+	// reclaimed by another worker; 0 means DefaultLease. A lease that
+	// expires is the queue presuming the worker dead mid-cell — the cell
+	// returns to the pending pool, and a late submit from the original
+	// worker is absorbed idempotently.
+	Lease time.Duration
+	// Now is the clock leases are measured against; nil means time.Now.
+	// The fault-injection harness substitutes a fake clock here to expire
+	// leases deterministically.
+	Now func() time.Time
+	// OnEvent, when set, observes queue transitions synchronously (outside
+	// the queue lock, inside the triggering call) — the seam the fault
+	// harness uses as kill and reorder points.
+	OnEvent func(Event)
+
+	mu        sync.Mutex
+	items     map[string]*item
+	order     []string // claim order: batch arrival, then cell order
+	completed map[string]bool
+	failed    map[string]bool
+	seen      map[string]bool // workers that ever claimed
+	acked     map[string]bool // workers whose claim was answered done=true
+	finished  bool
+	stats     Stats
+}
+
+func (q *Queue) now() time.Time {
+	if q.Now != nil {
+		return q.Now()
+	}
+	//lint:allowwallclock lease deadlines are operational work-distribution state, not simulated time; tests inject a fake clock
+	return time.Now()
+}
+
+func (q *Queue) lease() time.Duration {
+	if q.Lease > 0 {
+		return q.Lease
+	}
+	return DefaultLease
+}
+
+func (q *Queue) fire(ev Event) {
+	if q.OnEvent != nil {
+		q.OnEvent(ev)
+	}
+}
+
+// ExecuteCells implements campaign.Executor: it enqueues the batch for
+// workers to claim and blocks until every cell is reported (by submit or
+// fail) or ctx is cancelled, in which case unresolved cells report the
+// cancellation and late submits become unknown-cell no-ops.
+func (q *Queue) ExecuteCells(ctx context.Context, cells []campaign.Cell, report func(campaign.Outcome)) error {
+	b := &batch{remaining: len(cells), done: make(chan struct{})}
+	q.mu.Lock()
+	if q.items == nil {
+		q.items = map[string]*item{}
+		q.completed = map[string]bool{}
+		q.failed = map[string]bool{}
+	}
+	for _, c := range cells {
+		key := c.Key()
+		q.items[key] = &item{cell: c, report: report, batch: b}
+		q.order = append(q.order, key)
+	}
+	q.mu.Unlock()
+
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		// Tear the batch down: every unresolved cell reports the
+		// cancellation (mirroring LocalExecutor's unscheduled cells), and
+		// an in-flight worker's eventual submit finds no item — an
+		// unknown-cell response it absorbs silently.
+		q.mu.Lock()
+		var orphans []*item
+		// Walk the deterministic claim order, not the item map, so
+		// cancellation events fire in a reproducible order.
+		for _, key := range q.order {
+			if it := q.items[key]; it != nil && it.batch == b {
+				delete(q.items, key)
+				orphans = append(orphans, it)
+			}
+		}
+		q.mu.Unlock()
+		// Every item of this batch is now out of the map: any submit still
+		// running already registered its report; new submits will miss.
+		// Wait the in-flight reports out, then report the orphans
+		// ourselves — all report calls complete before we return.
+		b.reports.Wait()
+		for _, it := range orphans {
+			it.report(campaign.Outcome{Key: it.cell.Key(), Err: ctx.Err()})
+		}
+		return ctx.Err()
+	}
+}
+
+// Claim leases up to max pending cells to the named worker, reclaiming any
+// expired leases first. It never blocks: an empty result with done=false
+// means everything is leased elsewhere or the driver is between batches, and
+// the worker should poll again; done=true means the campaign is finished and
+// the worker can exit.
+func (q *Queue) Claim(worker string, max int) (cells []campaign.Cell, done bool) {
+	if max < 1 {
+		max = 1
+	}
+	now := q.now()
+	q.mu.Lock()
+	q.stats.Claims++
+	if q.seen == nil {
+		q.seen = map[string]bool{}
+		q.acked = map[string]bool{}
+	}
+	q.seen[worker] = true
+	expired := q.reclaimLocked(now)
+	deadline := now.Add(q.lease())
+	var keys []string
+	kept := q.order[:0]
+	for _, key := range q.order {
+		it := q.items[key]
+		if it == nil {
+			continue // resolved; compact the claim order as we walk it
+		}
+		kept = append(kept, key)
+		if it.leased || len(cells) >= max {
+			continue
+		}
+		it.leased, it.worker, it.deadline = true, worker, deadline
+		cells = append(cells, it.cell)
+		keys = append(keys, key)
+		q.stats.Leased++
+	}
+	q.order = kept
+	done = q.finished && len(q.items) == 0
+	if done {
+		q.acked[worker] = true
+	}
+	q.mu.Unlock()
+
+	for _, key := range expired {
+		q.fire(Event{Kind: EventExpire, Key: key})
+	}
+	if len(keys) > 0 {
+		q.fire(Event{Kind: EventClaim, Worker: worker, Keys: keys})
+	}
+	return cells, done
+}
+
+// reclaimLocked returns expired leases to the pending pool, walking the
+// deterministic claim order so expiry events fire reproducibly.
+func (q *Queue) reclaimLocked(now time.Time) []string {
+	var expired []string
+	for _, key := range q.order {
+		it := q.items[key]
+		if it != nil && it.leased && it.deadline.Before(now) {
+			it.leased, it.worker = false, ""
+			q.stats.Expired++
+			expired = append(expired, key)
+		}
+	}
+	return expired
+}
+
+// SubmitStatus is the queue's verdict on a submitted record.
+type SubmitStatus string
+
+// The submit outcomes.
+const (
+	// StatusAccepted: the record resolved a pending cell.
+	StatusAccepted SubmitStatus = "accepted"
+	// StatusDuplicate: the cell was already resolved (or already reported
+	// failed); the submit is absorbed idempotently.
+	StatusDuplicate SubmitStatus = "duplicate"
+	// StatusUnknown: the queue has never held this cell — the worker
+	// outlived a cancelled batch, or the record is from another campaign.
+	StatusUnknown SubmitStatus = "unknown"
+	// StatusInvalid: the record is malformed (no key, or its payload does
+	// not match the cell's kind) and resolved nothing.
+	StatusInvalid SubmitStatus = "invalid"
+)
+
+// Submit resolves a pending cell with a worker-executed record. Duplicate
+// submits — a retry after a dropped response, or the original holder of an
+// expired lease finishing late — are absorbed idempotently: determinism
+// guarantees every submit for a key carries the same record, so first write
+// wins and the rest acknowledge.
+func (q *Queue) Submit(worker string, rec *campaign.Record, attempts int, seconds float64) SubmitStatus {
+	if rec == nil || rec.Key == "" {
+		return StatusInvalid
+	}
+	q.mu.Lock()
+	it := q.items[rec.Key]
+	if it == nil {
+		if q.completed[rec.Key] || q.failed[rec.Key] {
+			q.stats.Duplicates++
+			q.mu.Unlock()
+			q.fire(Event{Kind: EventDuplicate, Worker: worker, Key: rec.Key})
+			return StatusDuplicate
+		}
+		q.stats.Unknown++
+		q.mu.Unlock()
+		q.fire(Event{Kind: EventUnknown, Worker: worker, Key: rec.Key})
+		return StatusUnknown
+	}
+	// Integrity gate: the payload must match the cell's kind. A mismatch
+	// resolves nothing — the lease stands (or expires) and a correct
+	// worker re-executes.
+	if (rec.Kind == campaign.KindRun) != (rec.Result != nil) ||
+		(rec.Kind == campaign.KindRemaining) != (rec.Remaining != nil) ||
+		rec.Kind != it.cell.Kind {
+		q.mu.Unlock()
+		return StatusInvalid
+	}
+	delete(q.items, rec.Key)
+	q.completed[rec.Key] = true
+	q.stats.Completed++
+	b, report := it.batch, it.report
+	b.reports.Add(1)
+	q.mu.Unlock()
+
+	// Report outside the lock (the engine's callback takes its own lock
+	// and may fire user progress callbacks), and only decrement the batch
+	// afterwards: ExecuteCells must not return while any report runs.
+	report(campaign.Outcome{Key: rec.Key, Rec: rec, Attempts: attempts, Seconds: seconds})
+	b.reports.Done()
+	q.fire(Event{Kind: EventSubmit, Worker: worker, Key: rec.Key})
+	q.finishOne(b)
+	return StatusAccepted
+}
+
+// Fail marks a cell as unexecutable after a worker exhausted its attempts.
+// The failure propagates to the engine (failing the campaign batch the way a
+// local execution failure would); a duplicate fail or a fail racing a
+// successful submit is absorbed.
+func (q *Queue) Fail(worker, key, message string, attempts int) SubmitStatus {
+	if key == "" {
+		return StatusInvalid
+	}
+	q.mu.Lock()
+	it := q.items[key]
+	if it == nil {
+		if q.completed[key] || q.failed[key] {
+			q.stats.Duplicates++
+			q.mu.Unlock()
+			return StatusDuplicate
+		}
+		q.stats.Unknown++
+		q.mu.Unlock()
+		return StatusUnknown
+	}
+	delete(q.items, key)
+	q.failed[key] = true
+	q.stats.Failed++
+	b, report := it.batch, it.report
+	b.reports.Add(1)
+	q.mu.Unlock()
+
+	report(campaign.Outcome{Key: key, Attempts: attempts, Err: &RemoteError{Worker: worker, Message: message}})
+	b.reports.Done()
+	q.fire(Event{Kind: EventFail, Worker: worker, Key: key})
+	q.finishOne(b)
+	return StatusAccepted
+}
+
+// finishOne decrements a batch and releases its ExecuteCells when the last
+// report has fully completed.
+func (q *Queue) finishOne(b *batch) {
+	q.mu.Lock()
+	b.remaining--
+	last := b.remaining == 0
+	q.mu.Unlock()
+	if last {
+		close(b.done)
+	}
+}
+
+// Finish marks the campaign complete: subsequent claims tell workers to
+// exit. Call it after the driver has resolved every batch.
+func (q *Queue) Finish() {
+	q.mu.Lock()
+	q.finished = true
+	q.mu.Unlock()
+	q.fire(Event{Kind: EventFinish})
+}
+
+// Drained reports whether every worker that ever claimed has since been
+// told the campaign is done — the server's cue that it can stop listening
+// without stranding a live worker in claim retries. Workers that died
+// mid-campaign never ack, so callers bound the wait.
+func (q *Queue) Drained() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.finished || len(q.items) != 0 {
+		return false
+	}
+	// Order-independent all() over the worker set: no iteration order
+	// reaches any output.
+	for w := range q.seen {
+		if !q.acked[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns the queue's traffic counters plus the current backlog
+// (pending = enqueued and unleased, leased = claimed and in flight).
+func (q *Queue) Snapshot() (stats Stats, pending, leased int, finished bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, it := range q.items {
+		if it.leased {
+			leased++
+		} else {
+			pending++
+		}
+	}
+	return q.stats, pending, leased, q.finished
+}
+
+// RemoteError is a worker-reported execution failure.
+type RemoteError struct {
+	Worker  string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return "worker " + e.Worker + ": " + e.Message
+}

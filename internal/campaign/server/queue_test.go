@@ -1,0 +1,304 @@
+// Queue unit tests: the lease/submit state machine in isolation — idempotent
+// duplicates, unknown and invalid submits, failure propagation, lease expiry
+// under a fake clock, and the cancellation teardown that must never let a
+// report outlive ExecuteCells.
+
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"alertmanet/internal/campaign"
+	"alertmanet/internal/campaign/campaigntesting"
+	"alertmanet/internal/experiment"
+	"alertmanet/internal/geo"
+)
+
+// testCell builds a tiny mobility-only cell (cheap to execute for real).
+func testCell(seed int64) campaign.Cell {
+	return campaign.RemainingCell(experiment.RemainingSpec{
+		Seed: seed, N: 5, H: 2, Speed: 1, Mobility: experiment.RandomWaypoint,
+		Field: geo.Rect{Max: geo.Point{X: 100, Y: 100}},
+		Times: []float64{0, 1}, Dests: 1,
+	})
+}
+
+// recFor fabricates a record matching a cell's key and kind — enough to
+// satisfy the queue's integrity gate without running a simulation.
+func recFor(c campaign.Cell) *campaign.Record {
+	return &campaign.Record{
+		Key: c.Key(), Kind: campaign.KindRemaining,
+		Remaining: &experiment.RemainingResult{Sums: []float64{1}, Count: 1},
+	}
+}
+
+// startBatch launches ExecuteCells in the background and waits until every
+// cell is claimable, returning the outcome stream and completion channel.
+func startBatch(t *testing.T, q *Queue, ctx context.Context, cells []campaign.Cell) (chan campaign.Outcome, chan error) {
+	t.Helper()
+	outcomes := make(chan campaign.Outcome, len(cells))
+	done := make(chan error, 1)
+	go func() {
+		done <- q.ExecuteCells(ctx, cells, func(o campaign.Outcome) { outcomes <- o })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, pending, leased, _ := q.Snapshot()
+		if pending+leased == len(cells) {
+			return outcomes, done
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never became claimable: pending=%d leased=%d", pending, leased)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueueSubmitLifecycle(t *testing.T) {
+	q := &Queue{}
+	c := testCell(1)
+	rec := recFor(c)
+
+	// Before any batch: the queue has never heard of this cell.
+	if got := q.Submit("w1", rec, 1, 0); got != StatusUnknown {
+		t.Fatalf("pre-batch submit: want unknown, got %s", got)
+	}
+
+	outcomes, done := startBatch(t, q, context.Background(), []campaign.Cell{c})
+	cells, qdone := q.Claim("w1", 10)
+	if qdone || len(cells) != 1 || cells[0].Key() != c.Key() {
+		t.Fatalf("claim: got %d cells done=%v", len(cells), qdone)
+	}
+
+	if got := q.Submit("w1", rec, 2, 0.5); got != StatusAccepted {
+		t.Fatalf("first submit: want accepted, got %s", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ExecuteCells: %v", err)
+	}
+	o := <-outcomes
+	if o.Key != c.Key() || o.Err != nil || o.Rec != rec || o.Attempts != 2 {
+		t.Fatalf("outcome: %+v", o)
+	}
+
+	// A retransmit after the batch completed is absorbed, not re-reported.
+	if got := q.Submit("w2", rec, 1, 0); got != StatusDuplicate {
+		t.Fatalf("retransmit: want duplicate, got %s", got)
+	}
+	select {
+	case o := <-outcomes:
+		t.Fatalf("duplicate submit reached the engine: %+v", o)
+	default:
+	}
+	stats, _, _, _ := q.Snapshot()
+	if stats.Completed != 1 || stats.Duplicates != 1 || stats.Unknown != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestQueueSubmitInvalid(t *testing.T) {
+	q := &Queue{}
+	c := testCell(2)
+	_, done := startBatch(t, q, context.Background(), []campaign.Cell{c})
+	q.Claim("w1", 1)
+
+	if got := q.Submit("w1", nil, 1, 0); got != StatusInvalid {
+		t.Fatalf("nil record: want invalid, got %s", got)
+	}
+	if got := q.Submit("w1", &campaign.Record{}, 1, 0); got != StatusInvalid {
+		t.Fatalf("empty key: want invalid, got %s", got)
+	}
+	// Right key, wrong payload shape: a remaining cell with a missing
+	// remaining payload must not resolve the lease.
+	if got := q.Submit("w1", &campaign.Record{Key: c.Key(), Kind: campaign.KindRemaining}, 1, 0); got != StatusInvalid {
+		t.Fatalf("kindless payload: want invalid, got %s", got)
+	}
+	if got := q.Submit("w1", &campaign.Record{Key: c.Key(), Kind: campaign.KindRun}, 1, 0); got != StatusInvalid {
+		t.Fatalf("kind mismatch: want invalid, got %s", got)
+	}
+
+	// The lease survived all of it; a correct submit still lands.
+	if got := q.Submit("w1", recFor(c), 1, 0); got != StatusAccepted {
+		t.Fatalf("correct submit after invalid attempts: want accepted, got %s", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFailPropagates(t *testing.T) {
+	q := &Queue{}
+	c := testCell(3)
+	outcomes, done := startBatch(t, q, context.Background(), []campaign.Cell{c})
+	q.Claim("w1", 1)
+
+	if got := q.Fail("w1", c.Key(), "simulation exploded", 3); got != StatusAccepted {
+		t.Fatalf("fail: want accepted, got %s", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ExecuteCells returns nil for per-cell failures, got %v", err)
+	}
+	o := <-outcomes
+	var rerr *RemoteError
+	if !errors.As(o.Err, &rerr) || rerr.Worker != "w1" || rerr.Message != "simulation exploded" {
+		t.Fatalf("outcome error: %v", o.Err)
+	}
+	if o.Attempts != 3 {
+		t.Fatalf("attempts: %d", o.Attempts)
+	}
+	// Both a duplicate fail and a late submit for the failed cell absorb.
+	if got := q.Fail("w1", c.Key(), "again", 1); got != StatusDuplicate {
+		t.Fatalf("duplicate fail: want duplicate, got %s", got)
+	}
+	if got := q.Submit("w1", recFor(c), 1, 0); got != StatusDuplicate {
+		t.Fatalf("late submit after fail: want duplicate, got %s", got)
+	}
+}
+
+func TestQueueLeaseExpiry(t *testing.T) {
+	clk := campaigntesting.NewClock(time.Unix(0, 0))
+	q := &Queue{Lease: time.Minute, Now: clk.Now}
+	var events []Event
+	q.OnEvent = func(ev Event) { events = append(events, ev) }
+	c := testCell(4)
+	outcomes, done := startBatch(t, q, context.Background(), []campaign.Cell{c})
+
+	cells, _ := q.Claim("w1", 1)
+	if len(cells) != 1 {
+		t.Fatalf("first claim: %d cells", len(cells))
+	}
+	// Within the lease nobody else gets the cell.
+	if cells, _ := q.Claim("w2", 1); len(cells) != 0 {
+		t.Fatal("cell re-leased before expiry")
+	}
+	clk.Advance(2 * time.Minute)
+	cells, _ = q.Claim("w2", 1)
+	if len(cells) != 1 || cells[0].Key() != c.Key() {
+		t.Fatalf("post-expiry claim: %d cells", len(cells))
+	}
+
+	// The reclaiming worker resolves it; the presumed-dead original's late
+	// submit is absorbed.
+	if got := q.Submit("w2", recFor(c), 1, 0); got != StatusAccepted {
+		t.Fatalf("w2 submit: %s", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Submit("w1", recFor(c), 1, 0); got != StatusDuplicate {
+		t.Fatalf("late submit from expired holder: want duplicate, got %s", got)
+	}
+	<-outcomes
+
+	stats, _, _, _ := q.Snapshot()
+	if stats.Expired != 1 || stats.Completed != 1 || stats.Duplicates != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []EventKind{EventClaim, EventExpire, EventClaim, EventSubmit, EventDuplicate}
+	if len(kinds) != len(want) {
+		t.Fatalf("events: %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d: want %s, got %s (all: %v)", i, want[i], kinds[i], kinds)
+		}
+	}
+}
+
+func TestQueueCancelTeardown(t *testing.T) {
+	q := &Queue{}
+	ctx, cancel := context.WithCancel(context.Background())
+	c1, c2 := testCell(5), testCell(6)
+	outcomes, done := startBatch(t, q, ctx, []campaign.Cell{c1, c2})
+	q.Claim("w1", 1) // c1 leased, c2 still pending
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ExecuteCells: %v", err)
+	}
+	// Every cell of the batch reported the cancellation — leased or not —
+	// in deterministic enqueue order.
+	o1, o2 := <-outcomes, <-outcomes
+	if o1.Key != c1.Key() || o2.Key != c2.Key() {
+		t.Fatalf("teardown order: %s then %s", o1.Key[:8], o2.Key[:8])
+	}
+	for _, o := range []campaign.Outcome{o1, o2} {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("orphan outcome: %+v", o)
+		}
+	}
+	// The in-flight worker's eventual submit finds nothing to resolve.
+	if got := q.Submit("w1", recFor(c1), 1, 0); got != StatusUnknown {
+		t.Fatalf("post-teardown submit: want unknown, got %s", got)
+	}
+}
+
+func TestQueueClaimDone(t *testing.T) {
+	q := &Queue{}
+	if _, done := q.Claim("w1", 1); done {
+		t.Fatal("unfinished queue reported done")
+	}
+	q.Finish()
+	cells, done := q.Claim("w1", 1)
+	if len(cells) != 0 || !done {
+		t.Fatalf("finished empty queue: cells=%d done=%v", len(cells), done)
+	}
+}
+
+func TestQueueDrained(t *testing.T) {
+	q := &Queue{}
+	if q.Drained() {
+		t.Fatal("unfinished queue cannot be drained")
+	}
+	c := testCell(10)
+	outcomes, done := startBatch(t, q, context.Background(), []campaign.Cell{c})
+	q.Claim("w1", 1) // w1 is now on the hook for a done-ack
+	if got := q.Submit("w1", recFor(c), 1, 0); got != StatusAccepted {
+		t.Fatalf("submit: %s", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	<-outcomes
+	q.Finish()
+	if q.Drained() {
+		t.Fatal("w1 has not been told the campaign is done yet")
+	}
+	if _, qdone := q.Claim("w1", 1); !qdone {
+		t.Fatal("post-finish claim should answer done")
+	}
+	if !q.Drained() {
+		t.Fatal("every claimant has been told done; queue should drain")
+	}
+}
+
+func TestQueueClaimBounds(t *testing.T) {
+	q := &Queue{}
+	cells := []campaign.Cell{testCell(7), testCell(8), testCell(9)}
+	outcomes, done := startBatch(t, q, context.Background(), cells)
+
+	got, _ := q.Claim("w1", 2)
+	if len(got) != 2 {
+		t.Fatalf("bounded claim: want 2, got %d", len(got))
+	}
+	rest, _ := q.Claim("w2", 10)
+	if len(rest) != 1 {
+		t.Fatalf("remainder claim: want 1, got %d", len(rest))
+	}
+	for _, c := range cells {
+		q.Submit("w", recFor(c), 1, 0)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for range cells {
+		<-outcomes
+	}
+}

@@ -1,0 +1,136 @@
+// The HTTP facade over the distributed campaign: claim/submit/fail move
+// cells between the Queue and remote workers, status and export read the
+// campaign's durable state. The server holds no protocol state of its own —
+// everything lives in the Queue and the store — so killing and restarting
+// the server process is just reopening the store and re-driving the
+// campaign: the engine resolves the finished prefix from disk and only the
+// missing suffix reaches the queue again.
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"alertmanet/internal/campaign"
+)
+
+// Server exposes a campaign Queue and its durable store over HTTP.
+type Server struct {
+	// Queue is the work pool claims and submits flow through.
+	Queue *Queue
+	// Name labels the campaign in status responses.
+	Name string
+	// Store, when set, backs the status record count and the export
+	// stream. It is the same store the campaign engine appends to.
+	Store *campaign.Store
+}
+
+// Handler returns the protocol's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathClaim, s.handleClaim)
+	mux.HandleFunc("POST "+PathSubmit, s.handleSubmit)
+	mux.HandleFunc("POST "+PathFail, s.handleFail)
+	mux.HandleFunc("GET "+PathStatus, s.handleStatus)
+	mux.HandleFunc("GET "+PathExport, s.handleExport)
+	return mux
+}
+
+// decode parses a JSON request body, rejecting trailing garbage.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(into); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// reply writes a JSON response.
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The connection is gone; nothing useful to do. The queue state
+		// already reflects the request (a lost claim response re-leases
+		// after expiry; a lost submit response re-submits idempotently).
+		_ = err
+	}
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "claim needs a worker name", http.StatusBadRequest)
+		return
+	}
+	cells, done := s.Queue.Claim(req.Worker, req.Max)
+	resp := ClaimResponse{Done: done}
+	for _, c := range cells {
+		resp.Cells = append(resp.Cells, WireCell{Key: c.Key(), Cell: c})
+	}
+	reply(w, resp)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	status := s.Queue.Submit(req.Worker, req.Record, req.Attempts, req.Seconds)
+	if status == StatusInvalid {
+		http.Error(w, "invalid record", http.StatusUnprocessableEntity)
+		return
+	}
+	reply(w, SubmitResponse{Status: status})
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	status := s.Queue.Fail(req.Worker, req.Key, req.Error, req.Attempts)
+	if status == StatusInvalid {
+		http.Error(w, "invalid failure report", http.StatusUnprocessableEntity)
+		return
+	}
+	reply(w, SubmitResponse{Status: status})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	stats, pending, leased, finished := s.Queue.Snapshot()
+	resp := StatusResponse{
+		Name:    s.Name,
+		Pending: pending,
+		Leased:  leased,
+		Done:    finished,
+		Stats:   stats,
+	}
+	if s.Store != nil {
+		resp.Stored = s.Store.Len()
+	}
+	reply(w, resp)
+}
+
+// handleExport streams the store's records as JSONL — the same line format,
+// in the same deterministic order, as the results.jsonl on the server's
+// disk, so `campaign export -server` of a finished distributed run is
+// byte-identical to a single-process run's file.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if s.Store == nil {
+		http.Error(w, "no store attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	enc := json.NewEncoder(w)
+	for _, rec := range s.Store.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return // client went away mid-stream
+		}
+	}
+}

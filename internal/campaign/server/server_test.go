@@ -1,0 +1,157 @@
+// HTTP facade tests: request validation, error mapping, the status
+// snapshot, and the export stream's byte-identity with the on-disk store.
+
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alertmanet/internal/campaign"
+)
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	q := &Queue{}
+	ts := httptest.NewServer((&Server{Queue: q, Name: "t"}).Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"claim-bad-json", PathClaim, "{nope", http.StatusBadRequest},
+		{"claim-no-worker", PathClaim, `{"max":4}`, http.StatusBadRequest},
+		{"submit-bad-json", PathSubmit, "][", http.StatusBadRequest},
+		{"submit-no-record", PathSubmit, `{"worker":"w"}`, http.StatusUnprocessableEntity},
+		{"fail-no-key", PathFail, `{"worker":"w","error":"x"}`, http.StatusUnprocessableEntity},
+		{"claim-wrong-method", PathClaim, "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			if tc.name == "claim-wrong-method" {
+				resp, err = http.Get(ts.URL + tc.path)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				resp = postJSON(t, ts.URL+tc.path, tc.body)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status: want %d, got %d", tc.want, resp.StatusCode)
+			}
+		})
+	}
+}
+
+func TestServerStatusAndExport(t *testing.T) {
+	dir := t.TempDir()
+	store, err := campaign.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	q := &Queue{}
+	ts := httptest.NewServer((&Server{Queue: q, Store: store, Name: "status-test"}).Handler())
+	defer ts.Close()
+
+	// Resolve one cell through the full HTTP path so status has counters
+	// and the store has a line.
+	c := testCell(30)
+	outcomes, done := startBatch(t, q, context.Background(), []campaign.Cell{c})
+	var claim ClaimResponse
+	resp := postJSON(t, ts.URL+PathClaim, `{"worker":"w1","max":1}`)
+	if err := json.NewDecoder(resp.Body).Decode(&claim); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(claim.Cells) != 1 {
+		t.Fatalf("claim: %+v", claim)
+	}
+	rec := recFor(c)
+	body, _ := json.Marshal(SubmitRequest{Worker: "w1", Attempts: 1, Record: rec})
+	resp = postJSON(t, ts.URL+PathSubmit, string(body))
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.Status != StatusAccepted {
+		t.Fatalf("submit: %s", sub.Status)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	<-outcomes
+	if err := store.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	q.Finish()
+
+	var status StatusResponse
+	resp, err = http.Get(ts.URL + PathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Name != "status-test" || status.Stored != 1 || !status.Done ||
+		status.Pending != 0 || status.Leased != 0 || status.Stats.Completed != 1 {
+		t.Fatalf("status: %+v", status)
+	}
+
+	// Export must be byte-identical to the file the store wrote.
+	resp, err = http.Get(ts.URL + PathExport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(export, onDisk) {
+		t.Fatalf("export differs from results.jsonl:\nexport %q\ndisk   %q", export, onDisk)
+	}
+}
+
+func TestServerExportWithoutStore(t *testing.T) {
+	ts := httptest.NewServer((&Server{Queue: &Queue{}}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + PathExport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("storeless export: want 404, got %d", resp.StatusCode)
+	}
+}

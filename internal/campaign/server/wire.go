@@ -1,0 +1,79 @@
+// The wire format of the campaign work protocol. Every payload is plain
+// JSON over POST/GET; records travel in exactly the store's line format
+// (campaign.Record, JFloat round-tripping non-finite floats), so a record a
+// worker submits is bit-for-bit the record a single-process engine would
+// have written.
+
+package server
+
+import (
+	"alertmanet/internal/campaign"
+)
+
+// The protocol endpoints, all under one version prefix.
+const (
+	PathClaim  = "/v1/claim"
+	PathSubmit = "/v1/submit"
+	PathFail   = "/v1/fail"
+	PathStatus = "/v1/status"
+	PathExport = "/v1/export"
+)
+
+// ClaimRequest asks for up to Max cells to execute.
+type ClaimRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// WireCell is one leased cell: the full content-addressed cell plus its key
+// so the worker can verify its own hash of the payload matches the lease.
+type WireCell struct {
+	Key  string        `json:"key"`
+	Cell campaign.Cell `json:"cell"`
+}
+
+// ClaimResponse returns leased cells. Done means the campaign is complete
+// and the worker should exit; an empty Cells with Done=false means poll
+// again after PollMillis (0 = worker's default).
+type ClaimResponse struct {
+	Cells      []WireCell `json:"cells,omitempty"`
+	Done       bool       `json:"done,omitempty"`
+	PollMillis int        `json:"pollMillis,omitempty"`
+}
+
+// SubmitRequest delivers one executed record.
+type SubmitRequest struct {
+	Worker   string           `json:"worker"`
+	Attempts int              `json:"attempts"`
+	Seconds  float64          `json:"seconds"`
+	Record   *campaign.Record `json:"record"`
+}
+
+// SubmitResponse acknowledges a submit with the queue's verdict.
+type SubmitResponse struct {
+	Status SubmitStatus `json:"status"`
+}
+
+// FailRequest reports a cell as unexecutable after the worker's retries.
+type FailRequest struct {
+	Worker   string `json:"worker"`
+	Key      string `json:"key"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+}
+
+// StatusResponse is the live campaign view for workers, dashboards, and
+// `campaign status -server`.
+type StatusResponse struct {
+	// Name labels the campaign; Stored is the record count in the durable
+	// store.
+	Name   string `json:"name"`
+	Stored int    `json:"stored"`
+	// Pending and Leased describe the queue backlog; Done means the
+	// driver finished every batch.
+	Pending int  `json:"pending"`
+	Leased  int  `json:"leased"`
+	Done    bool `json:"done"`
+	// Stats is the queue's traffic breakdown.
+	Stats Stats `json:"stats"`
+}

@@ -1,0 +1,221 @@
+// Worker unit tests: deterministic backoff, the retry loop against flaky
+// and hostile servers, wire-integrity rejection of corrupted leases, and a
+// real claim→execute→submit round trip over HTTP.
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"alertmanet/internal/campaign"
+)
+
+func TestWorkerBackoffDeterministic(t *testing.T) {
+	w := &Worker{}
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+		2 * time.Second, 2 * time.Second,
+	}
+	for n, d := range want {
+		if got := w.backoff(n); got != d {
+			t.Fatalf("backoff(%d): want %v, got %v", n, d, got)
+		}
+	}
+	// Far past overflow territory the cap still holds.
+	if got := w.backoff(200); got != 2*time.Second {
+		t.Fatalf("backoff(200): want cap, got %v", got)
+	}
+	custom := &Worker{BackoffBase: 3 * time.Millisecond, BackoffMax: 10 * time.Millisecond}
+	for n, d := range []time.Duration{3 * time.Millisecond, 6 * time.Millisecond, 10 * time.Millisecond, 10 * time.Millisecond} {
+		if got := custom.backoff(n); got != d {
+			t.Fatalf("custom backoff(%d): want %v, got %v", n, d, got)
+		}
+	}
+}
+
+func TestWorkerPostRetries5xx(t *testing.T) {
+	var mu sync.Mutex
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		n := hits
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(SubmitResponse{Status: StatusAccepted})
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	w := &Worker{BaseURL: ts.URL, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	var resp SubmitResponse
+	if err := w.post(context.Background(), PathSubmit, SubmitRequest{Worker: "w"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusAccepted {
+		t.Fatalf("status: %s", resp.Status)
+	}
+	if hits != 3 {
+		t.Fatalf("requests: want 3, got %d", hits)
+	}
+	// The two retries slept exactly backoff(0) and backoff(1): no jitter,
+	// no wall clock, fully reproducible.
+	if len(slept) != 2 || slept[0] != w.backoff(0) || slept[1] != w.backoff(1) {
+		t.Fatalf("backoff schedule: %v", slept)
+	}
+}
+
+func TestWorkerPostTerminal4xx(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		http.Error(w, "invalid record", http.StatusUnprocessableEntity)
+	}))
+	defer ts.Close()
+
+	w := &Worker{BaseURL: ts.URL, Sleep: func(time.Duration) {}}
+	err := w.post(context.Background(), PathSubmit, SubmitRequest{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "rejected 422") {
+		t.Fatalf("want terminal rejection, got %v", err)
+	}
+	if hits != 1 {
+		t.Fatalf("4xx must not retry: %d requests", hits)
+	}
+}
+
+func TestWorkerPostExhaustsAttempts(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	w := &Worker{BaseURL: ts.URL, HTTPAttempts: 3, Sleep: func(time.Duration) {}}
+	err := w.post(context.Background(), PathClaim, ClaimRequest{Worker: "w"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "3 attempts exhausted") {
+		t.Fatalf("want exhaustion, got %v", err)
+	}
+	if hits != 3 {
+		t.Fatalf("requests: want 3, got %d", hits)
+	}
+}
+
+// TestWorkerRejectsCorruptedLease: a lease whose key does not match the
+// cell's recomputed hash must be failed back to the server, never executed.
+func TestWorkerRejectsCorruptedLease(t *testing.T) {
+	c := testCell(20)
+	var mu sync.Mutex
+	var failed *FailRequest
+	claims := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathClaim, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		claims++
+		first := claims == 1
+		mu.Unlock()
+		resp := ClaimResponse{Done: !first}
+		if first {
+			resp.Cells = []WireCell{{Key: "corrupted-in-flight", Cell: c}}
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("POST "+PathFail, func(w http.ResponseWriter, r *http.Request) {
+		var req FailRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		mu.Lock()
+		failed = &req
+		mu.Unlock()
+		json.NewEncoder(w).Encode(SubmitResponse{Status: StatusAccepted})
+	})
+	mux.HandleFunc("POST "+PathSubmit, func(w http.ResponseWriter, r *http.Request) {
+		t.Error("corrupted lease must never be executed and submitted")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	w := &Worker{Name: "w", BaseURL: ts.URL, Sleep: func(time.Duration) {}}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if failed == nil || failed.Key != "corrupted-in-flight" || !strings.Contains(failed.Error, "key mismatch") {
+		t.Fatalf("fail report: %+v", failed)
+	}
+}
+
+// TestWorkerRoundTrip: a real queue, server, and worker resolve a small
+// batch end to end; the records the engine receives are genuine executions.
+func TestWorkerRoundTrip(t *testing.T) {
+	q := &Queue{Lease: time.Minute}
+	cells := []campaign.Cell{testCell(21), testCell(22), testCell(23)}
+	outcomes, done := startBatch(t, q, context.Background(), cells)
+	ts := httptest.NewServer((&Server{Queue: q, Name: "unit"}).Handler())
+	defer ts.Close()
+
+	var events []WorkerEvent
+	var mu sync.Mutex
+	w := &Worker{
+		Name: "w1", BaseURL: ts.URL, Jobs: 2, Batch: 2,
+		Poll: time.Millisecond, BackoffBase: time.Millisecond,
+		OnCell: func(ev WorkerEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	}
+	werr := make(chan error, 1)
+	go func() { werr <- w.Run(context.Background()) }()
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	q.Finish()
+	if err := <-werr; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+
+	want := map[string]bool{}
+	for _, c := range cells {
+		want[c.Key()] = true
+	}
+	for range cells {
+		o := <-outcomes
+		if o.Err != nil {
+			t.Fatalf("outcome %.12s: %v", o.Key, o.Err)
+		}
+		if !want[o.Key] {
+			t.Fatalf("outcome for unrequested cell %.12s", o.Key)
+		}
+		delete(want, o.Key)
+		if o.Rec == nil || o.Rec.Remaining == nil || o.Rec.Key != o.Key {
+			t.Fatalf("outcome record: %+v", o.Rec)
+		}
+		if o.Attempts < 1 {
+			t.Fatalf("outcome attempts: %d", o.Attempts)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("unresolved cells: %d", len(want))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != len(cells) {
+		t.Fatalf("worker events: want %d, got %d", len(cells), len(events))
+	}
+	for _, ev := range events {
+		if ev.Status != StatusAccepted {
+			t.Fatalf("worker event: %+v", ev)
+		}
+	}
+}

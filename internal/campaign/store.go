@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -83,29 +84,36 @@ func LoadStore(dir string) (*Store, error) {
 }
 
 // load indexes every complete record line and returns the byte offset just
-// past the last complete line.
+// past the last complete line. A line only counts as complete when it is
+// newline-terminated AND parses as a keyed record: a torn tail that happens
+// to end exactly at a record's closing brace (no newline) must not be
+// counted, or the truncate-to-valid on reopen would extend the file and the
+// next append would fuse two records onto one corrupt line.
 func (s *Store) load(f *os.File) (int64, error) {
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	r := bufio.NewReaderSize(f, 1<<16)
 	var valid int64
-	for sc.Scan() {
-		line := sc.Bytes()
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// Bytes after the last newline are a torn tail — even if they
+			// parse — and are truncated away by the caller.
+			return valid, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("campaign: scan store: %w", err)
+		}
 		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
-			// A corrupt or half-written tail: everything before it stands.
-			break
+		if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.Key == "" {
+			// A corrupt or half-written line: everything before it stands.
+			return valid, nil
 		}
 		if _, ok := s.recs[rec.Key]; !ok {
-			r := rec
-			s.recs[rec.Key] = &r
+			rc := rec
+			s.recs[rec.Key] = &rc
 			s.order = append(s.order, rec.Key)
 		}
-		valid += int64(len(line)) + 1
+		valid += int64(len(line))
 	}
-	if err := sc.Err(); err != nil {
-		return 0, fmt.Errorf("campaign: scan store: %w", err)
-	}
-	return valid, nil
 }
 
 // Get returns the stored record for a cell key, if present.

@@ -1,0 +1,168 @@
+// FuzzStoreReopen is the store's crash-consistency contract under arbitrary
+// tail damage: whatever bytes a kill, a partial write, or outright corruption
+// leaves in results.jsonl, reopening must either fail loudly or recover an
+// exact prefix of complete record lines — never invent, extend, or reorder
+// bytes — and the recovered store must accept appends that survive a second
+// reopen. The same fuzz input also lands in manifest.json, where ReadManifest
+// must parse or error but never panic or fabricate a manifest.
+
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alertmanet/internal/experiment"
+)
+
+// fuzzRecord builds a small valid record line for corpus seeding.
+func fuzzRecord(key string, seed int64) *Record {
+	return &Record{
+		Key: key, Kind: KindRemaining, Seed: seed,
+		Remaining: &experiment.RemainingResult{Sums: []float64{float64(seed)}, Count: 1},
+	}
+}
+
+// storeBytes renders records exactly as Store.Append writes them.
+func storeBytes(t testing.TB, recs ...*Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func FuzzStoreReopen(f *testing.F) {
+	clean := storeBytes(f, fuzzRecord("k1", 1), fuzzRecord("k2", 2))
+	// Seeds: every truncation point of a 2-record store (the kill
+	// signatures), plus flipped bytes, injected NULs, and garbage.
+	for cut := 0; cut <= len(clean); cut += 7 {
+		f.Add(clean[:cut])
+	}
+	f.Add(clean[:len(clean)-1]) // complete record, missing only its newline
+	f.Add([]byte("{}\n"))
+	f.Add([]byte("{\"key\":\"\"}\n"))
+	f.Add(append([]byte{0}, clean...))
+	f.Add(bytes.Replace(clean, []byte(`"key"`), []byte(`"kex"`), 1))
+	f.Add([]byte("not json at all\x00\xff\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, resultsFile)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The same hostile bytes as a manifest: parse or fail, never panic.
+		if err := os.WriteFile(filepath.Join(dir, manifestFile), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadManifest(dir); err != nil {
+			_ = err // a loud failure is an acceptable outcome
+		}
+
+		store, err := OpenStore(dir)
+		if err != nil {
+			return // loud failure: acceptable, nothing was silently dropped
+		}
+		recovered, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(data, recovered) {
+			t.Fatalf("recovered store is not a prefix of the damaged file:\ndamaged:   %q\nrecovered: %q", data, recovered)
+		}
+		if n := len(recovered); n > 0 && recovered[n-1] != '\n' {
+			t.Fatalf("recovered store does not end at a line boundary: %q", recovered)
+		}
+		// Every recovered line must be a complete, keyed record.
+		lines := strings.Split(strings.TrimSuffix(string(recovered), "\n"), "\n")
+		if len(recovered) == 0 {
+			lines = nil
+		}
+		for i, line := range lines {
+			var rec Record
+			if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.Key == "" {
+				t.Fatalf("recovered line %d is not a keyed record: %q (%v)", i, line, err)
+			}
+		}
+
+		// The recovered store must keep working: append a fresh record,
+		// close, reopen, and find everything again with unchanged bytes.
+		extra := fuzzRecord("fuzz-extra", 99)
+		if err := store.Append(extra); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+		want := append(append([]byte{}, recovered...), storeBytes(t, extra)...)
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(after, want) {
+			t.Fatalf("append after recovery corrupted the file:\nwant %q\ngot  %q", want, after)
+		}
+		reopened, err := OpenStore(dir)
+		if err != nil {
+			t.Fatalf("second reopen after clean append: %v", err)
+		}
+		if _, ok := reopened.Get("fuzz-extra"); !ok {
+			t.Fatal("appended record lost across reopen")
+		}
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestStoreReopenNewlineLessTail pins the torn-tail bug FuzzStoreReopen
+// surfaced: a final record missing only its terminating newline (a write cut
+// exactly at the closing brace) used to be counted as valid *plus* its
+// absent newline, so the reopen truncate extended the file with a NUL byte
+// and the next append fused two records onto one corrupt line. The tail must
+// instead be truncated away and re-executed.
+func TestStoreReopenNewlineLessTail(t *testing.T) {
+	dir := t.TempDir()
+	r1, r2 := fuzzRecord("k1", 1), fuzzRecord("k2", 2)
+	clean := storeBytes(t, r1, r2)
+	torn := clean[:len(clean)-1] // drop only the final newline
+	path := filepath.Join(dir, resultsFile)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("newline-less tail must not count as recovered: want 1 record, got %d", store.Len())
+	}
+	if _, ok := store.Get("k2"); ok {
+		t.Fatal("torn record k2 should have been truncated away")
+	}
+	// Re-append the lost record (what a resumed campaign does) and verify
+	// the merged file is byte-identical to the never-torn store.
+	if err := store.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, clean) {
+		t.Fatalf("resume after newline-less tear is not byte-identical:\nwant %q\ngot  %q", clean, after)
+	}
+}

@@ -50,6 +50,7 @@ var substratePkgs = []string{
 	"internal/medium",
 	"internal/experiment",
 	"internal/campaign",
+	"internal/campaign/server",
 }
 
 var Analyzer = &analysis.Analyzer{
