@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-sharded vet lint allowlist race cover bench bench-smoke figures campaign-smoke campaign-distributed-smoke analysis experiments fuzz clean
+.PHONY: all build test test-sharded vet lint allowlist race cover bench bench-smoke figures campaign-smoke campaign-distributed-smoke live-smoke analysis experiments fuzz clean
 
 all: build vet lint test
 
@@ -35,20 +35,22 @@ test-sharded:
 # Race detection over the concurrency-bearing packages (the dynamic
 # backstop for the sharedstate analyzer): the harness worker pools, the
 # sharded event engine, the distributed campaign server (lease queue,
-# HTTP handlers, worker executor pools), and the packages the fork-join
+# HTTP handlers, worker executor pools), the packages the fork-join
 # workers fan out over (medium position sweeps, node construction,
-# mobility walkers).
+# mobility walkers), and the live UDP daemons (pump goroutines, control
+# plane, coordinator).
 race:
 	$(GO) test -race ./internal/experiment ./internal/campaign \
 		./internal/campaign/server ./internal/sim \
 		./internal/medium ./internal/node ./internal/mobility
+	$(GO) test -race -short ./internal/live
 
 # Coverage floor over the packages the telemetry layer threads through.
 # Each must stay at or above COVER_FLOOR percent statement coverage.
 COVER_PKGS = ./internal/telemetry ./internal/sim ./internal/medium \
 	./internal/gpsr ./internal/core ./internal/metrics ./internal/node \
 	./internal/experiment ./internal/ao2p ./internal/alarm ./internal/zap \
-	./internal/campaign ./internal/campaign/server
+	./internal/campaign ./internal/campaign/server ./internal/live
 COVER_FLOOR = 75.0
 
 cover:
@@ -76,9 +78,9 @@ bench:
 # of allocs/op — here). ns/op at one iteration is jitter; the 400%
 # tolerance only catches order-of-magnitude blowups.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr9.json
-	@echo "wrote BENCH_pr9.json"
-	$(GO) run ./cmd/benchjson -compare -tolerance 400 -allocslack 16 -allocslackpct 0.25 BENCH_pr8.json BENCH_pr9.json
+	$(GO) test -bench=. -benchtime=1x -benchmem -run NONE . | $(GO) run ./cmd/benchjson > BENCH_pr10.json
+	@echo "wrote BENCH_pr10.json"
+	$(GO) run ./cmd/benchjson -compare -tolerance 400 -allocslack 16 -allocslackpct 0.25 BENCH_pr9.json BENCH_pr10.json
 
 # Regenerate every evaluation figure at paper fidelity (30 seeds) as one
 # parallel, resumable campaign: results stream to out/figures-campaign, so a
@@ -118,6 +120,30 @@ campaign-distributed-smoke:
 	cmp out/dist-smoke/ref/results.jsonl out/dist-smoke/dist/results.jsonl
 	@echo "distributed campaign is byte-identical to the single-process run"
 
+# Live-mode smoke across real process boundaries: five alertd daemons on
+# loopback (the frozen 5-node GPSR topology of TestFiveNodeExactPath), then
+# alertload in external mode dials their control planes, replays the sim's
+# flow schedule, and band-checks live against sim — sent counts must match
+# exactly. -quit tears the fleet down through /v1/quit.
+live-smoke:
+	rm -rf out/live-smoke
+	mkdir -p out/live-smoke
+	$(GO) build -o out/live-smoke/alertd ./cmd/alertd
+	$(GO) build -o out/live-smoke/alertload ./cmd/alertload
+	for i in 0 1 2 3 4; do \
+		out/live-smoke/alertd -id $$i -n 5 -protocol gpsr -seed 15 -field 600x600 \
+			-timescale 0.05 -addr-file out/live-smoke/node$$i.addr & \
+	done; \
+	i=0; while [ $$(ls out/live-smoke/*.addr 2>/dev/null | wc -l) -lt 5 ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	if [ $$(ls out/live-smoke/*.addr 2>/dev/null | wc -l) -lt 5 ]; then echo "alertd fleet never bound" >&2; kill $$(jobs -p) 2>/dev/null; exit 1; fi; \
+	cat out/live-smoke/node*.addr > out/live-smoke/fleet.txt; \
+	RC=0; out/live-smoke/alertload -mode both -nodes out/live-smoke/fleet.txt \
+		-protocol gpsr -seed 15 -n 5 -field 600x600 -mobility static \
+		-duration 10 -drain 2 -pairs 2 -interval 2 -timescale 0.05 \
+		-out out/live-smoke/logs -quit || RC=1; \
+	wait; exit $$RC
+	@echo "live fleet matches sim inside the bands"
+
 # The Section 4 closed-form curves.
 analysis:
 	$(GO) run ./cmd/analysis all
@@ -131,11 +157,12 @@ fuzz:
 	$(GO) test ./internal/core -fuzz FuzzUnmarshal -fuzztime 30s
 	$(GO) test ./internal/mobility -fuzz FuzzParseNS2 -fuzztime 30s
 	$(GO) test ./internal/sim -fuzz FuzzSchedule -fuzztime 30s
+	$(GO) test ./internal/live -fuzz FuzzWireCodec -fuzztime 30s
 
-# BENCH_pr3/pr4/pr6/pr8/pr9.json are committed comparison baselines, not
-# build outputs — clean only removes the transient artifacts. (bench-smoke
-# regenerates BENCH_pr9.json in place; the committed copy is the blessed
-# baseline for the next generation.)
+# BENCH_pr3/pr4/pr6/pr8/pr9/pr10.json are committed comparison baselines,
+# not build outputs — clean only removes the transient artifacts.
+# (bench-smoke regenerates BENCH_pr10.json in place; the committed copy is
+# the blessed baseline for the next generation.)
 clean:
 	rm -f test_output.txt bench_output.txt BENCH_pr5.json
 	rm -rf out

@@ -67,11 +67,16 @@ func main() {
 	}
 }
 
-// allowlist prints every //lint: annotation under root with its reason and
-// returns the process exit code. Sites are the audit trail for the lint
-// contracts: each line is file:line, the marker, and the justification the
-// author recorded.
+// allowlist prints the full exemption surface and returns the process exit
+// code: first the static package grants each analyzer ships with (whole
+// packages where the contract is inverted), then every //lint: annotation
+// under root with its recorded reason — file:line, marker, justification.
 func allowlist(w *os.File, root string) int {
+	for _, g := range lint.PackageGrants() {
+		for _, pkg := range g.Packages {
+			fmt.Fprintf(w, "grant: %s: %s: %s\n", g.Analyzer, pkg, g.Reason)
+		}
+	}
 	anns, err := lintutil.ScanAnnotations(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alertlint: -allowlist: %v\n", err)
@@ -80,7 +85,7 @@ func allowlist(w *os.File, root string) int {
 	for _, a := range anns {
 		fmt.Fprintf(w, "%s:%d: %s: %s\n", a.File, a.Line, a.Marker, a.Reason)
 	}
-	fmt.Fprintf(w, "%d annotated site(s)\n", len(anns))
+	fmt.Fprintf(w, "%d annotated site(s), %d package grant(s)\n", len(anns), len(lint.PackageGrants()))
 	return 0
 }
 

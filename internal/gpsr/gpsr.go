@@ -105,12 +105,10 @@ type Packet struct {
 	inFlight int
 	// released marks a frame whose owner called Release while sends were
 	// still in flight; the last SendResolved recycles it.
-	released  bool
-	mode      Mode
-	entryDist float64       // distance to Dest when entering perimeter mode
-	prev      medium.NodeID // previous holder (perimeter right-hand rule)
-	firstFrom medium.NodeID // first perimeter edge, loop detection
-	firstTo   medium.NodeID
+	released bool
+	// fwd is the greedy/perimeter decision state (see ForwardState); all
+	// routing state lives in the packet, per the GPSR design.
+	fwd ForwardState
 	// trace is the end-to-end packet id (metrics.Record.Seq) telemetry
 	// attributes this packet's events to; hasTrace distinguishes an unset
 	// trace from a legitimate id 0.
@@ -266,8 +264,7 @@ func (r *Router) Send(from medium.NodeID, pkt *Packet) {
 	if pkt.HopBudget <= 0 {
 		pkt.HopBudget = DefaultHopBudget
 	}
-	pkt.mode = Greedy
-	pkt.prev = NoDeliverTo
+	pkt.fwd = NewForwardState()
 	pkt.Path = append(pkt.Path, from)
 	if r.tap != nil {
 		r.tap.RouteSend(r.net.Eng.Now(), pkt.TelemetryTrace(), int(from))
@@ -330,88 +327,26 @@ func (r *Router) Handle(cur medium.NodeID, pkt *Packet) {
 		return
 	}
 	r.nbrScratch = r.net.Med.NeighborsInto(cur, r.nbrScratch)
-	nbrs := r.nbrScratch
 	selfPos := r.net.Med.PositionNow(cur)
-	selfDist := selfPos.Dist(pkt.Dest)
-
-	if pkt.mode == Perimeter && selfDist < pkt.entryDist {
-		// Closer than where we entered recovery: back to greedy.
-		pkt.mode = Greedy
+	var prevPos geo.Point
+	if pkt.fwd.Prev != NoDeliverTo {
+		prevPos = r.net.Med.PositionNow(pkt.fwd.Prev)
 	}
-
-	if pkt.mode == Greedy {
-		// Prefer links comfortably inside the radio range: beacon
-		// positions are up to a hello interval stale, so a neighbor at
-		// the very fringe may have drifted out by delivery time. The
-		// medium's ARQ now detects and retries such losses (and forward
-		// reports the survivors' failure as DroppedLink), so this is no
-		// longer correctness machinery — it is an optimization that
-		// steers packets onto links unlikely to need retransmission,
-		// much as real GPSR implementations prefer neighbors whose MAC
-		// feedback looks healthy. Fringe links remain a fallback when
-		// nothing safer improves.
-		safe := r.net.Med.Params().Range * SafeRangeFactor
-		best := NoDeliverTo
-		bestDist := selfDist
-		for _, nb := range nbrs {
-			if selfPos.Dist(nb.Pos) > safe {
-				continue
-			}
-			if d := nb.Pos.Dist(pkt.Dest); d < bestDist {
-				best, bestDist = nb.ID, d
-			}
-		}
-		if best == NoDeliverTo {
-			for _, nb := range nbrs {
-				if d := nb.Pos.Dist(pkt.Dest); d < bestDist {
-					best, bestDist = nb.ID, d
-				}
-			}
-		}
-		if best != NoDeliverTo {
-			r.forward(cur, best, pkt)
-			return
-		}
-		// Dead end. In closest-node mode this IS the arrival: the
-		// holder is locally closest to the target (the RF rule).
-		if pkt.DeliverTo == NoDeliverTo {
-			r.finish(cur, pkt, ArrivedClosest)
-			return
-		}
-		// Enter perimeter mode.
-		pkt.mode = Perimeter
-		pkt.entryDist = selfDist
-		pkt.firstFrom, pkt.firstTo = NoDeliverTo, NoDeliverTo
+	next, verdict, entered, scratch := Step(cur, selfPos, prevPos, pkt.Dest,
+		pkt.DeliverTo == NoDeliverTo, r.net.Med.Params().Range, r.Planar,
+		r.nbrScratch, r.planarScratch[:0], &pkt.fwd)
+	r.planarScratch = scratch
+	if entered {
 		r.counts.PerimeterEntries++
 	}
-
-	// Perimeter forwarding over the planar subgraph.
-	var planar []medium.Neighbor
-	if r.Planar == RelativeNeighborhood {
-		planar = planarizeRNG(r.planarScratch[:0], selfPos, nbrs)
-	} else {
-		planar = planarize(r.planarScratch[:0], selfPos, nbrs)
-	}
-	r.planarScratch = planar
-	if len(planar) == 0 {
+	switch verdict {
+	case StepArrived:
+		r.finish(cur, pkt, ArrivedClosest)
+	case StepDeadEnd:
 		r.finish(cur, pkt, DroppedDeadEnd)
-		return
+	default:
+		r.forward(cur, next, pkt)
 	}
-	var ref geo.Point
-	if pkt.prev != NoDeliverTo {
-		ref = r.net.Med.PositionNow(pkt.prev)
-	} else {
-		ref = pkt.Dest
-	}
-	next := rightHand(selfPos, ref, planar)
-	if pkt.firstFrom == NoDeliverTo {
-		pkt.firstFrom, pkt.firstTo = cur, next.ID
-	} else if cur == pkt.firstFrom && next.ID == pkt.firstTo {
-		// Completed a full face tour with no progress: unreachable.
-		r.finish(cur, pkt, DroppedDeadEnd)
-		return
-	}
-	r.forward(cur, next.ID, pkt)
 }
 
 // forward transmits pkt one hop. The receiving side routes the payload back
@@ -426,10 +361,10 @@ func (r *Router) forward(cur, next medium.NodeID, pkt *Packet) {
 		return
 	}
 	pkt.HopBudget--
-	pkt.prev = cur
+	pkt.fwd.Prev = cur
 	if r.tap != nil {
 		mode := "greedy"
-		if pkt.mode == Perimeter {
+		if pkt.fwd.Mode == Perimeter {
 			mode = "perimeter"
 		}
 		r.tap.Forward(r.net.Eng.Now(), pkt.TelemetryTrace(), int(cur), int(next), mode)
@@ -444,18 +379,18 @@ func (r *Router) forward(cur, next medium.NodeID, pkt *Packet) {
 // so even those hops allocate nothing.
 func (r *Router) UnicastPacket(cur, next medium.NodeID, pkt *Packet) {
 	pkt.router = r
-	pkt.prev = cur
+	pkt.fwd.Prev = cur
 	pkt.inFlight++
 	r.net.Med.UnicastSink(cur, next, pkt, pkt.Size, pkt)
 }
 
 // SendResolved implements medium.OutcomeSink: the one-hop transmission the
 // packet is riding resolved. A failed send terminates routing at the last
-// confirmed holder — pkt.prev, which UnicastPacket set to the sending node.
+// confirmed holder — fwd.Prev, which UnicastPacket set to the sending node.
 func (p *Packet) SendResolved(out medium.SendOutcome) {
 	p.inFlight--
 	if out != medium.SendDelivered {
-		p.router.finish(p.prev, p, DroppedLink)
+		p.router.finish(p.fwd.Prev, p, DroppedLink)
 		return
 	}
 	if p.released && p.inFlight == 0 {

@@ -37,3 +37,32 @@ func Analyzers() []*analysis.Analyzer {
 		sharedstate.Analyzer,
 	}
 }
+
+// PackageGrant is one static package-level exemption an analyzer ships
+// with: unlike //lint: annotations (per-site, audited by location), a
+// grant exempts a whole package because the contract is inverted there —
+// internal/rng is where raw randomness is supposed to live, internal/live
+// is where the wall clock is supposed to be read.
+type PackageGrant struct {
+	Analyzer string
+	Packages []string
+	Reason   string
+}
+
+// PackageGrants lists every analyzer's static package allowlist so
+// `alertlint -allowlist` can print the whole exemption surface — annotated
+// sites and package grants — in one audit.
+func PackageGrants() []PackageGrant {
+	return []PackageGrant{
+		{
+			Analyzer: norawrand.Analyzer.Name,
+			Packages: norawrand.AllowedPackages,
+			Reason:   "the one wrapper turning raw randomness into seeded splittable streams",
+		},
+		{
+			Analyzer: nowallclock.Analyzer.Name,
+			Packages: nowallclock.AllowedPackages,
+			Reason:   "the live transport layer paces emulated time against the real clock by design",
+		},
+	}
+}

@@ -19,6 +19,12 @@ import (
 // Marker is the escape-hatch comment: //lint:allowwallclock <reason>.
 const Marker = "allowwallclock"
 
+// AllowedPackages may read the wall clock wholesale: internal/live is the
+// real-transport layer — its daemons pace emulated seconds against actual
+// wall-clock time and arm real ARQ timers, which is precisely the coupling
+// the simulator packages must avoid and the live harness exists to provide.
+var AllowedPackages = []string{"internal/live"}
+
 // Banned are the time-package functions that observe or wait on the wall
 // clock. Pure data types (time.Duration arithmetic, time.Time formatting of
 // an already-obtained value) remain fine.
@@ -39,7 +45,8 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "forbid wall-clock reads in simulation packages\n\n" +
 		"Simulated time comes from sim.Engine.Now; time.Now/Since/Sleep/... in a\n" +
 		"simulation package makes runs depend on the host scheduler. Packages under\n" +
-		"a cmd/ element (CLI progress reporting) and _test.go files are exempt.\n" +
+		"a cmd/ element (CLI progress reporting), the AllowedPackages grants (the\n" +
+		"live transport layer) and _test.go files are exempt.\n" +
 		"Escape hatch: //lint:allowwallclock <reason>.",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
@@ -48,6 +55,9 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (interface{}, error) {
 	// Command-line binaries may legitimately report wall-clock progress.
 	if lintutil.HasPathElement(pass.Pkg.Path(), "cmd") {
+		return nil, nil
+	}
+	if lintutil.PackageMatchesAny(pass.Pkg.Path(), AllowedPackages) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)

@@ -8,5 +8,5 @@ import (
 )
 
 func TestNoWallClock(t *testing.T) {
-	linttest.Run(t, nowallclock.Analyzer, "a", "cmd/tool")
+	linttest.Run(t, nowallclock.Analyzer, "a", "cmd/tool", "internal/live")
 }

@@ -1,0 +1,22 @@
+// Fixture: the live transport layer holds a package grant — its whole job
+// is pacing emulated time against the real clock and arming real ARQ
+// timers, so wall-clock reads here are the contract, not a violation.
+// Nothing in this package is flagged.
+package live
+
+import "time"
+
+// pace sleeps one compressed emulated second.
+func pace(timescale float64) {
+	time.Sleep(time.Duration(timescale * float64(time.Second)))
+}
+
+// deadline arms a real retransmission timer.
+func deadline(d time.Duration, f func()) *time.Timer {
+	return time.AfterFunc(d, f)
+}
+
+// stamp reads the host clock for run pacing.
+func stamp() time.Time {
+	return time.Now()
+}

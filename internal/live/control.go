@@ -1,0 +1,262 @@
+// The daemon's TCP/HTTP control plane and its client. alertd exposes a
+// tiny JSON API on a loopback TCP socket — topology pushes, flow starts,
+// report scrapes, shutdown — and controlClient implements NodeHandle over
+// it, so a coordinator drives an externally spawned alertd process exactly
+// like an in-process daemon. The data plane never touches HTTP: frames ride
+// the UDP socket; this channel carries control at hello-interval cadence.
+
+package live
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"alertmanet/internal/crypt"
+	"alertmanet/internal/geo"
+)
+
+// Control-plane DTOs: net.UDPAddr travels as "host:port" text and points
+// as bare coordinates, so the JSON stays trivially scriptable (curl-able).
+
+type neighborDTO struct {
+	ID   int32   `json:"id"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Addr string  `json:"addr"`
+}
+
+type topologyDTO struct {
+	T     float64       `json:"t"`
+	X     float64       `json:"x"`
+	Y     float64       `json:"y"`
+	Nbrs  []neighborDTO `json:"nbrs"`
+	Dests []DestUpdate  `json:"dests,omitempty"`
+}
+
+type infoDTO struct {
+	ID        int    `json:"id"`
+	UDP       string `json:"udp"`
+	Pseudonym []byte `json:"pseudonym"`
+	Protocol  string `json:"protocol"`
+}
+
+func topologyToDTO(t Topology) topologyDTO {
+	dto := topologyDTO{T: t.T, X: t.Self.X, Y: t.Self.Y, Dests: t.Dests}
+	for _, nb := range t.Nbrs {
+		dto.Nbrs = append(dto.Nbrs, neighborDTO{
+			ID: nb.ID, X: nb.Pos.X, Y: nb.Pos.Y, Addr: nb.Addr.String(),
+		})
+	}
+	return dto
+}
+
+func topologyFromDTO(dto topologyDTO) (Topology, error) {
+	t := Topology{T: dto.T, Self: geo.Point{X: dto.X, Y: dto.Y}, Dests: dto.Dests}
+	for _, nb := range dto.Nbrs {
+		ua, err := net.ResolveUDPAddr("udp", nb.Addr)
+		if err != nil {
+			return Topology{}, fmt.Errorf("live: neighbor %d addr %q: %w", nb.ID, nb.Addr, err)
+		}
+		t.Nbrs = append(t.Nbrs, Neighbor{ID: nb.ID, Pos: geo.Point{X: nb.X, Y: nb.Y}, Addr: ua})
+	}
+	return t, nil
+}
+
+// ControlServer serves a daemon's control API. Construct with
+// NewControlServer, shut down with Close (which also closes the daemon
+// when quit was requested remotely).
+type ControlServer struct {
+	d   *Daemon
+	ln  net.Listener
+	srv *http.Server
+	// Quit is closed when a client POSTs /v1/quit; the alertd main loop
+	// selects on it.
+	Quit chan struct{}
+}
+
+// NewControlServer binds the control listener on addr ("127.0.0.1:0" to
+// let the OS pick) and starts serving the daemon's control API.
+func NewControlServer(d *Daemon, addr string) (*ControlServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: control listen %q: %w", addr, err)
+	}
+	cs := &ControlServer{d: d, ln: ln, Quit: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/info", cs.handleInfo)
+	mux.HandleFunc("/v1/topology", cs.handleTopology)
+	mux.HandleFunc("/v1/flow", cs.handleFlow)
+	mux.HandleFunc("/v1/report", cs.handleReport)
+	mux.HandleFunc("/v1/quit", cs.handleQuit)
+	cs.srv = &http.Server{Handler: mux}
+	go cs.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return cs, nil
+}
+
+// Addr returns the bound control address.
+func (cs *ControlServer) Addr() net.Addr { return cs.ln.Addr() }
+
+// Close stops the control server (the daemon is closed separately).
+func (cs *ControlServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return cs.srv.Shutdown(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is client's problem
+}
+
+func (cs *ControlServer) handleInfo(w http.ResponseWriter, r *http.Request) {
+	ps := cs.d.Pseudonym()
+	writeJSON(w, infoDTO{
+		ID:        cs.d.ID(),
+		UDP:       cs.d.UDPAddr().String(),
+		Pseudonym: ps[:],
+		Protocol:  cs.d.cfg.Protocol,
+	})
+}
+
+func (cs *ControlServer) handleTopology(w http.ResponseWriter, r *http.Request) {
+	var dto topologyDTO
+	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	top, err := topologyFromDTO(dto)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := cs.d.ApplyTopology(top); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (cs *ControlServer) handleFlow(w http.ResponseWriter, r *http.Request) {
+	var spec FlowSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := cs.d.StartFlow(spec); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (cs *ControlServer) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := cs.d.Collect()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (cs *ControlServer) handleQuit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+	select {
+	case <-cs.Quit:
+	default:
+		close(cs.Quit)
+	}
+}
+
+// controlClient drives a remote alertd over its control API; it implements
+// NodeHandle, so coordinators are indifferent to process boundaries.
+type controlClient struct {
+	base  string
+	hc    *http.Client
+	id    int
+	udp   *net.UDPAddr
+	pseud crypt.Pseudonym
+	proto string
+}
+
+// Dial connects to an alertd control endpoint ("host:port" or a full
+// http:// URL) and fetches the node's identity.
+func Dial(endpoint string) (NodeHandle, error) {
+	base := endpoint
+	if len(base) < 7 || base[:7] != "http://" {
+		base = "http://" + base
+	}
+	c := &controlClient{base: base, hc: &http.Client{Timeout: 10 * time.Second}}
+	resp, err := c.hc.Get(base + "/v1/info")
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %s: %w", endpoint, err)
+	}
+	defer resp.Body.Close()
+	var info infoDTO
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("live: dial %s: decode info: %w", endpoint, err)
+	}
+	ua, err := net.ResolveUDPAddr("udp", info.UDP)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %s: udp addr %q: %w", endpoint, info.UDP, err)
+	}
+	c.id, c.udp, c.proto = info.ID, ua, info.Protocol
+	copy(c.pseud[:], info.Pseudonym)
+	return c, nil
+}
+
+func (c *controlClient) ID() int                    { return c.id }
+func (c *controlClient) UDPAddr() *net.UDPAddr      { return c.udp }
+func (c *controlClient) Pseudonym() crypt.Pseudonym { return c.pseud }
+
+func (c *controlClient) post(path string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("live: %s: %s: %s", c.base, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+func (c *controlClient) ApplyTopology(t Topology) error {
+	return c.post("/v1/topology", topologyToDTO(t))
+}
+
+func (c *controlClient) StartFlow(spec FlowSpec) error {
+	return c.post("/v1/flow", spec)
+}
+
+func (c *controlClient) Collect() (Report, error) {
+	resp, err := c.hc.Get(c.base + "/v1/report")
+	if err != nil {
+		return Report{}, err
+	}
+	defer resp.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// Close asks the remote daemon to quit.
+func (c *controlClient) Close() error {
+	return c.post("/v1/quit", struct{}{})
+}

@@ -1,0 +1,58 @@
+package live
+
+import (
+	"testing"
+
+	"alertmanet/internal/experiment"
+)
+
+// TestControlPlaneRoundTrip runs a fleet entirely through the HTTP control
+// plane: every daemon gets a ControlServer, the coordinator sees only
+// Dial()ed handles, and the run must still deliver. This is the exact
+// topology alertd + alertload use across process boundaries, minus exec.
+func TestControlPlaneRoundTrip(t *testing.T) {
+	sc := smokeScenario(experiment.GPSR, 15, 3)
+	fl, err := SpawnFleet(sc, 0.01)
+	if err != nil {
+		t.Fatalf("SpawnFleet: %v", err)
+	}
+	defer fl.Close()
+
+	servers := make([]*ControlServer, 0, len(fl.Daemons))
+	defer func() {
+		for _, cs := range servers {
+			cs.Close()
+		}
+	}()
+	handles := make([]NodeHandle, 0, len(fl.Daemons))
+	for _, d := range fl.Daemons {
+		cs, err := NewControlServer(d, "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("NewControlServer: %v", err)
+		}
+		servers = append(servers, cs)
+		h, err := Dial(cs.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		if h.ID() != d.ID() {
+			t.Fatalf("dialed handle id %d, want %d", h.ID(), d.ID())
+		}
+		if h.Pseudonym() != d.Pseudonym() {
+			t.Fatalf("node %d pseudonym did not survive the info round trip", d.ID())
+		}
+		if h.UDPAddr().String() != d.UDPAddr().String() {
+			t.Fatalf("node %d udp addr %s != %s", d.ID(), h.UDPAddr(), d.UDPAddr())
+		}
+		handles = append(handles, h)
+	}
+
+	sum, err := NewCoordinator(fl.World, handles, 0.01).Run()
+	if err != nil {
+		t.Fatalf("coordinator over HTTP handles: %v", err)
+	}
+	if sum.Sent == 0 || sum.Delivered == 0 {
+		t.Fatalf("HTTP-driven fleet: sent %d delivered %d, want both > 0", sum.Sent, sum.Delivered)
+	}
+	t.Logf("http round trip: sent %d delivered %d rate %.2f", sum.Sent, sum.Delivered, sum.DeliveryRate)
+}

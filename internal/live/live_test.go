@@ -1,0 +1,94 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"alertmanet/internal/experiment"
+	"alertmanet/internal/geo"
+)
+
+// smokeScenario is a small, fast, fully connected field for data-plane
+// tests: static nodes, no loss, CBR.
+func smokeScenario(protocol experiment.ProtocolName, n int, seed int64) experiment.Scenario {
+	sc := experiment.DefaultScenario()
+	sc.Protocol = protocol
+	sc.Seed = seed
+	sc.N = n
+	sc.Field = geo.Rect{Max: geo.Point{X: 600, Y: 600}}
+	sc.Mobility = experiment.Static
+	sc.Duration = 10
+	sc.DrainTime = 2
+	sc.Pairs = 2
+	sc.Interval = 2
+	sc.LocUpdates = false
+	return sc
+}
+
+// TestFleetSmokeGPSR drives a small static GPSR fleet over loopback UDP
+// and expects real deliveries with sane accounting.
+func TestFleetSmokeGPSR(t *testing.T) {
+	sum, err := RunFleet(smokeScenario(experiment.GPSR, 25, 7), 0.01)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if sum.Sent == 0 {
+		t.Fatal("no packets sent")
+	}
+	if sum.Delivered == 0 {
+		t.Fatalf("no deliveries (sent %d, counters %+v)", sum.Sent, sum.Counters)
+	}
+	for _, dv := range sum.Deliveries {
+		if dv.VTime <= 0 {
+			t.Errorf("delivery flow %d seq %d has non-positive vtime %g", dv.Flow, dv.Seq, dv.VTime)
+		}
+		if len(dv.Path) < 1 || dv.Path[len(dv.Path)-1] != dv.Dst {
+			t.Errorf("delivery flow %d seq %d path %v does not end at dst %d", dv.Flow, dv.Seq, dv.Path, dv.Dst)
+		}
+	}
+	t.Logf("gpsr smoke: sent %d delivered %d rate %.2f meanlat %.4fs hops %.1f",
+		sum.Sent, sum.Delivered, sum.DeliveryRate, sum.MeanLatency, sum.HopsPerPkt)
+}
+
+// TestFleetSmokeALERT drives a small static ALERT fleet: envelopes on the
+// wire, zone broadcasts, real session crypto end to end.
+func TestFleetSmokeALERT(t *testing.T) {
+	sum, err := RunFleet(smokeScenario(experiment.ALERT, 25, 7), 0.01)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if sum.Sent == 0 {
+		t.Fatal("no packets sent")
+	}
+	if sum.Delivered == 0 {
+		t.Fatalf("no deliveries (sent %d, counters %+v)", sum.Sent, sum.Counters)
+	}
+	if sum.Counters.ZoneBroadcasts == 0 {
+		t.Error("ALERT run produced no zone broadcasts")
+	}
+	t.Logf("alert smoke: sent %d delivered %d rate %.2f meanlat %.4fs zb %d relays %d",
+		sum.Sent, sum.Delivered, sum.DeliveryRate, sum.MeanLatency,
+		sum.Counters.ZoneBroadcasts, sum.Counters.ZoneRelays)
+}
+
+// TestDaemonCloseIdempotent pins the shutdown path: double Close, and
+// Close with traffic queued, must not hang or panic.
+func TestDaemonCloseIdempotent(t *testing.T) {
+	field := geo.Rect{Max: geo.Point{X: 100, Y: 100}}
+	d, err := NewDaemon(DefaultDaemonConfig(0, field, 1), "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	d.Start()
+	done := make(chan struct{})
+	go func() {
+		d.Close()
+		d.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+}
